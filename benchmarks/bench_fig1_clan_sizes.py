@@ -1,0 +1,46 @@
+"""FIG1 + SEC7-CLAN + SEC1-EX: clan-size statistics (paper Fig. 1, §1, §7).
+
+Regenerates the Fig. 1 series (minimal clan size for failure < 1e-9 over
+n = 100..1000), the §7 clan sizes at 1e-6, and checks the §1 intro example
+(n=500, f=166, n_c=184 → ~1e-9).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig1_clan_sizes, sec7_clan_sizes
+from repro.committees.hypergeometric import dishonest_majority_prob
+
+from .conftest import emit, run_once
+
+
+def test_fig1_clan_size_curve(benchmark):
+    rows = run_once(benchmark, fig1_clan_sizes)
+    emit(rows, "fig1_clan_sizes", "Fig. 1 — minimal clan sizes (failure < 1e-9)")
+    assert [r["n"] for r in rows] == list(range(100, 1001, 100))
+    sizes = [r["clan_size"] for r in rows]
+    # Fig. 1 shape: monotone growth, sublinear; the paper's curve tops out
+    # around 225 at n=1000 (our exact minimum is 231 — within one threshold
+    # convention of the figure), and n=500 lands at 183 vs the §1 example's
+    # 184.
+    assert sizes == sorted(sizes)
+    assert sizes[-1] <= 235
+    assert abs(dict(zip([r["n"] for r in rows], sizes))[500] - 184) <= 2
+    fractions = [r["clan_fraction"] for r in rows]
+    assert fractions[0] > fractions[-1]
+
+
+def test_sec7_clan_sizes(benchmark):
+    rows = run_once(benchmark, sec7_clan_sizes)
+    emit(rows, "sec7_clan_sizes", "§7 — clan sizes at failure ≈ 1e-6")
+    for row in rows:
+        assert abs(row["exact_min_clan"] - row["paper_clan"]) <= 3
+
+
+def test_sec1_intro_example(benchmark):
+    prob = run_once(benchmark, dishonest_majority_prob, 500, 166, 184)
+    emit(
+        [{"n": 500, "f": 166, "clan": 184, "prob": f"{prob:.3e}", "paper": "~1e-9"}],
+        "sec1_example",
+        "§1 — intro committee example",
+    )
+    assert prob < 3e-9

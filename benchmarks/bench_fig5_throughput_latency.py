@@ -1,0 +1,78 @@
+"""FIG5a/b/c: throughput vs latency at n = 50/100/150 (paper Fig. 5).
+
+Two reproductions per panel:
+
+* **Simulation** — full message-level runs at ``REPRO_SCALE`` × the paper's
+  geometry (default 0.3 → n = 15/30/45 with proportional clans; set
+  ``REPRO_SCALE=1.0`` for paper-sized runs, hours of CPU).
+* **Model** — the analytical bandwidth/latency model at exact paper scale
+  (validated against the simulator in bench_model_validation.py).
+
+Shape assertions encode the paper's headline claims:
+  - single-clan sustains at least Sailfish's peak stable throughput;
+  - single-clan commits at lower latency than Sailfish under equal load;
+  - multi-clan (fig5c) beats both on peak throughput.
+"""
+
+import pytest
+
+from repro.bench.experiments import SIM_LOADS, fig5_curve, fig5_model_curve
+from repro.bench.plotting import plot_throughput_latency
+
+from .conftest import emit, run_once
+
+
+def _peak(rows, protocol):
+    return max(
+        r["throughput_ktps"] for r in rows if r["protocol"] == protocol
+    )
+
+
+def _latency_at(rows, protocol, load):
+    for r in rows:
+        if r["protocol"] == protocol and r["txns/proposal"] == load:
+            return r["avg_latency_s"]
+    raise AssertionError(f"missing point {protocol}@{load}")
+
+
+@pytest.mark.parametrize("figure", ["fig5a", "fig5b", "fig5c"])
+def test_fig5_simulated(benchmark, figure):
+    rows = run_once(benchmark, fig5_curve, figure)
+    emit(rows, f"{figure}_sim", f"Fig. 5 ({figure}) — simulated, scaled geometry")
+    print()
+    print(plot_throughput_latency(rows, title=f"{figure} (simulated)"))
+    # Single-clan reaches at least ~Sailfish's throughput.  At the smallest
+    # scaled geometry (n=15, clan 10) the proposer deficit (10 vs 15) is not
+    # yet amortized within the load cap, so allow a wider margin there; the
+    # larger panels must hold the tighter one.
+    margin = 0.75 if figure == "fig5a" else 0.85
+    assert _peak(rows, "single-clan") >= margin * _peak(rows, "sailfish")
+    # ...at lower latency for the same (high) load.
+    heavy = SIM_LOADS[figure][-1]
+    assert _latency_at(rows, "single-clan", heavy) < _latency_at(
+        rows, "sailfish", heavy
+    )
+    if figure == "fig5c":
+        # Multi-clan wins on peak throughput (paper: ~2x single-clan).
+        assert _peak(rows, "multi-clan") > 1.5 * _peak(rows, "single-clan")
+
+
+@pytest.mark.parametrize("figure", ["fig5a", "fig5b", "fig5c"])
+def test_fig5_model_paper_scale(benchmark, figure):
+    rows = run_once(benchmark, fig5_model_curve, figure)
+    emit(rows, f"{figure}_model", f"Fig. 5 ({figure}) — analytical model, paper scale")
+    print()
+    print(plot_throughput_latency(rows, title=f"{figure} (model, paper scale)"))
+    stable = [r for r in rows if r["stable"]]
+    peak = lambda proto: max(
+        (r["throughput_ktps"] for r in stable if r["protocol"] == proto), default=0
+    )
+    assert peak("single-clan") > peak("sailfish")
+    if figure == "fig5c":
+        assert peak("multi-clan") > 1.8 * peak("single-clan")
+    # Latency floor grows with scale (§7: ~380 ms at n=50 → ~1392 ms at n=150).
+    floor = min(r["latency_s"] for r in rows if r["protocol"] == "sailfish")
+    if figure == "fig5a":
+        assert floor == pytest.approx(0.38, rel=0.35)
+    if figure == "fig5c":
+        assert floor == pytest.approx(1.39, rel=0.25)

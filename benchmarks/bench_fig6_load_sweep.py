@@ -1,0 +1,66 @@
+"""FIG6: throughput vs transactions-per-proposal at the largest scale.
+
+Paper Fig. 6 (n = 150, loads 250..1500, all three protocols).  The claims it
+supports:
+
+* Below saturation Sailfish's raw throughput at a fixed load is the highest
+  (it has the most proposers) — "Sailfish exhibited better throughput for
+  the same number of input transactions".
+* Multi-clan achieves roughly **twice** single-clan's throughput at every
+  block size (comparable clan sizes, two clans in parallel).
+* Sailfish's latency degrades far earlier (the paper omits its 1500-txn
+  point entirely because of it).
+"""
+
+import pytest
+
+from repro.bench.experiments import SIM_LOADS, fig6_load_sweep
+from repro.bench.plotting import plot_load_throughput
+
+from .conftest import emit, run_once
+
+
+def test_fig6_simulated(benchmark):
+    rows = run_once(benchmark, fig6_load_sweep)
+    for row in rows:
+        row["figure"] = "fig6"
+    emit(rows, "fig6_sim", "Fig. 6 — throughput vs txns/proposal (simulated)")
+    print()
+    print(plot_load_throughput(rows, title="fig6 (simulated)"))
+
+    def series(protocol):
+        return {
+            r["txns/proposal"]: r for r in rows if r["protocol"] == protocol
+        }
+
+    sailfish = series("sailfish")
+    single = series("single-clan")
+    multi = series("multi-clan")
+    loads = SIM_LOADS["fig6"]
+
+    # Multi-clan ≈ 2x single-clan across block sizes (paper: "roughly twice
+    # the throughput of single-clan Sailfish across all block sizes").  Near
+    # the latency floor (lightest loads) the NIC is not yet binding and the
+    # ratio dips toward the proposer ratio alone, so allow 1.35 per-point and
+    # require ≥1.5 on average.
+    ratios = []
+    for load in loads:
+        ratio = (
+            multi[load]["throughput_ktps"] / single[load]["throughput_ktps"]
+        )
+        ratios.append(ratio)
+        assert 1.35 <= ratio <= 2.6, f"multi/single ratio {ratio:.2f} at {load}"
+    assert sum(ratios) / len(ratios) >= 1.5
+
+    # Pre-saturation, Sailfish's fixed-load throughput is the highest of the
+    # three (most proposers).
+    first = loads[0]
+    assert sailfish[first]["throughput_ktps"] >= single[first]["throughput_ktps"]
+
+    # Sailfish pays more latency than single-clan at the heaviest common load.
+    last = loads[-1]
+    assert sailfish[last]["avg_latency_s"] > single[last]["avg_latency_s"]
+
+    # Multi-clan carries the same per-proposal load at higher latency than
+    # single-clan (paper: all parties process blocks in multi-clan).
+    assert multi[last]["avg_latency_s"] >= 0.9 * single[last]["avg_latency_s"]

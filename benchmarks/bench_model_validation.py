@@ -1,0 +1,73 @@
+"""VAL-MODEL: validate the analytical model against the simulator.
+
+The paper-scale Fig. 5 curves come from the analytical model; this bench runs
+both the model and the message-level simulator on identical small geometries
+and checks they agree on round duration and throughput within a tolerance.
+(Model flow-contention is 0 here: the simulator has no incast term.)
+"""
+
+import pytest
+
+from repro.bench.experiments import FigureGeometry, run_point
+from repro.bench.model import AnalyticalModel
+
+from .conftest import emit, run_once
+
+GEOMETRY = FigureGeometry(figure="val", n=16, clan_size=10, clans=2)
+BANDWIDTH = 400e6
+
+
+def _compare():
+    rows = []
+    model = AnalyticalModel(
+        n=GEOMETRY.n, bandwidth_bps=BANDWIDTH, flow_contention=0.0, cpu_coeff=0.0
+    )
+    for protocol, load in (
+        ("sailfish", 500),
+        ("sailfish", 4000),
+        ("single-clan", 500),
+        ("single-clan", 4000),
+        ("multi-clan", 4000),
+    ):
+        sim_row = run_point(
+            "val", protocol, GEOMETRY, load, BANDWIDTH, cpu_per_message=0.0
+        )
+        predicted = model.evaluate(
+            protocol, load, clan_size=GEOMETRY.clan_size, clans=GEOMETRY.clans
+        )
+        rows.append(
+            {
+                "protocol": protocol,
+                "txns/proposal": load,
+                "sim_ktps": sim_row["throughput_ktps"],
+                "model_ktps": round(predicted.throughput_tps / 1000.0, 2),
+                "sim_latency_s": sim_row["avg_latency_s"],
+                "model_latency_s": round(predicted.latency_s, 3),
+            }
+        )
+    return rows
+
+
+def test_model_matches_simulator(benchmark):
+    rows = run_once(benchmark, _compare)
+    emit(rows, "model_validation", "Model vs simulator (γ=0, small geometry)")
+    # Absolute agreement: the model is optimistic (it has no quorum-tail,
+    # jitter, or round-stall effects), consistently by <~40% on throughput
+    # and <~2.5x on latency.
+    for row in rows:
+        ratio = row["sim_ktps"] / row["model_ktps"]
+        assert 0.5 <= ratio <= 1.5, f"throughput mismatch: {row}"
+        lat_ratio = row["sim_latency_s"] / row["model_latency_s"]
+        assert 0.4 <= lat_ratio <= 2.5, f"latency mismatch: {row}"
+    # Relative agreement (what the figures rest on): the model's optimism is
+    # uniform across protocols, so cross-protocol ratios must match tightly.
+    by = {(r["protocol"], r["txns/proposal"]): r for r in rows}
+
+    def ratios(metric, a, b, load):
+        sim = by[(a, load)][f"sim_{metric}"] / by[(b, load)][f"sim_{metric}"]
+        model = by[(a, load)][f"model_{metric}"] / by[(b, load)][f"model_{metric}"]
+        return sim, model
+
+    for a, b in (("multi-clan", "single-clan"), ("single-clan", "sailfish")):
+        sim_ratio, model_ratio = ratios("ktps", a, b, 4000)
+        assert sim_ratio == pytest.approx(model_ratio, rel=0.35), (a, b)

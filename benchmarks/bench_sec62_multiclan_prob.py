@@ -1,0 +1,42 @@
+"""SEC62: the §6.2 concrete multi-clan failure probabilities.
+
+Paper: n=150 into two clans → ≈ 4.015e-6; n=387 into three clans → ≈ 1.11e-6.
+Also exercises the generalized q-clan counting the paper's analysis implies.
+"""
+
+import pytest
+
+from repro.bench.experiments import sec62_numbers
+from repro.committees.multiclan import equal_partition_prob, max_equal_clans
+
+from .conftest import emit, run_once
+
+
+def test_sec62_concrete_numbers(benchmark):
+    rows = run_once(benchmark, sec62_numbers)
+    emit(rows, "sec62_multiclan", "§6.2 — multi-clan dishonest-majority probabilities")
+    assert float(rows[0]["prob"]) == pytest.approx(4.015e-6, rel=1e-2)
+    assert float(rows[1]["prob"]) == pytest.approx(1.11e-6, rel=2e-2)
+
+
+def test_sec62_generalized_counts(benchmark):
+    """How many equal clans can various tribes support at 1e-5?"""
+
+    def sweep():
+        rows = []
+        for n in (60, 120, 150, 240, 300, 387, 420):
+            q = max_equal_clans(n, 1e-5)
+            rows.append(
+                {
+                    "n": n,
+                    "max_clans@1e-5": q,
+                    "prob": f"{equal_partition_prob(n, q):.2e}" if q > 1 else "-",
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(rows, "sec62_generalized", "Generalized max clan counts (failure ≤ 1e-5)")
+    by_n = {r["n"]: r["max_clans@1e-5"] for r in rows}
+    assert by_n[150] >= 2  # the paper's n=150 two-clan deployment is admissible
+    assert by_n[420] >= by_n[60]  # larger tribes support at least as many clans

@@ -1,0 +1,89 @@
+"""TAB1: the Table 1 GCP latency matrix, configured and measured in-sim.
+
+Table 1 is an *input* of the paper's evaluation (ping RTTs between the five
+GCP regions).  This bench reproduces it twice: (a) the configured matrix the
+simulator runs on, and (b) RTTs *measured inside the simulation* by sending
+ping/pong messages between one node per region — confirming the network
+substrate reproduces the matrix it was given.
+"""
+
+import pytest
+
+from repro.bench.experiments import table1_latency_matrix
+from repro.net.latency import GCP_REGIONS, GCP_RTT_MS, GeoLatencyModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Simulator
+
+from .conftest import emit, run_once
+
+
+def test_table1_configured_matrix(benchmark):
+    rows = run_once(benchmark, table1_latency_matrix)
+    emit(rows, "table1_configured", "Table 1 — configured GCP RTTs (ms)")
+    assert len(rows) == 5
+    assert rows[0]["source"] == "us-east1"
+
+
+class _Ping(Message):
+    __slots__ = ()
+
+
+class _Pong(Message):
+    __slots__ = ()
+
+
+def _measure_rtts() -> list[dict]:
+    """Ping/pong between one node per region over the simulated network."""
+    sim = Simulator()
+    model = GeoLatencyModel(list(GCP_REGIONS), jitter=0.0)
+    net = Network(sim, 5, latency=model)
+    arrived: dict[tuple[int, int], float] = {}
+    sent: dict[tuple[int, int], float] = {}
+
+    def handler(me):
+        def on_message(src, msg):
+            if isinstance(msg, _Ping):
+                net.send(me, src, _Pong())
+            else:
+                arrived[(me, src)] = sim.now  # pong back at the pinger
+
+        return on_message
+
+    for i in range(5):
+        net.register(i, handler(i))
+    for i in range(5):
+        for j in range(5):
+            if i == j:
+                continue
+
+            def fire(i=i, j=j):
+                sent[(i, j)] = sim.now
+                net.send(i, j, _Ping())
+
+            sim.schedule(1.0 * (5 * i + j), fire)
+    sim.run()
+    rows = []
+    for i, src in enumerate(GCP_REGIONS):
+        row = {"source": src}
+        for j, dst in enumerate(GCP_REGIONS):
+            if i == j:
+                measured = GCP_RTT_MS[(src, dst)]
+            else:
+                measured = (arrived[(i, j)] - sent[(i, j)]) * 1000.0
+            row[dst] = round(measured, 2)
+        rows.append(row)
+    return rows
+
+
+def test_table1_measured_in_sim(benchmark):
+    rows = run_once(benchmark, _measure_rtts)
+    emit(rows, "table1_measured", "Table 1 — RTTs measured inside the simulator (ms)")
+    # Measured RTT = forward one-way + reverse one-way; Table 1 is slightly
+    # asymmetric, so compare against the sum of the two directions.
+    for i, src in enumerate(GCP_REGIONS):
+        for j, dst in enumerate(GCP_REGIONS):
+            if i == j:
+                continue
+            expected = (GCP_RTT_MS[(src, dst)] + GCP_RTT_MS[(dst, src)]) / 2.0
+            assert rows[i][dst] == pytest.approx(expected, rel=0.01)

@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every bench writes its rows to ``results/*.csv`` and prints a table (visible
+with ``pytest -s``); pytest-benchmark timings measure the generation cost.
+Simulation benches run each configuration exactly once (``pedantic``) —
+re-running a multi-second discrete-event simulation for statistical timing
+would measure nothing interesting about the protocols.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table, results_path, write_csv
+
+
+def emit(rows: list[dict], name: str, title: str) -> None:
+    """Persist rows to results/<name>.csv and print a table."""
+    write_csv(rows, results_path(f"{name}.csv"))
+    print()
+    print(format_table(rows, title))
+
+
+@pytest.fixture
+def record_rows():
+    return emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Committee planner: size clans for a deployment with exact statistics.
+
+A small operator tool over the paper's §5/§6.2 analysis: given a tribe size
+and a failure budget, print the minimal single clan (Fig. 1 machinery), the
+largest admissible equal partition, and the projected peak throughput of each
+option from the analytical model.
+
+    python examples/committee_planner.py [n] [failure_exponent]
+    python examples/committee_planner.py 300 9     # n=300, budget 1e-9
+"""
+
+import sys
+
+from repro.bench.model import AnalyticalModel, PAPER_LOADS
+from repro.committees.hypergeometric import dishonest_majority_prob, min_clan_size
+from repro.committees.multiclan import equal_partition_prob, max_equal_clans
+from repro.types import max_faults
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    exponent = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    budget = 10.0 ** -exponent
+    f = max_faults(n)
+    print(f"tribe n={n} (f={f}), failure budget {budget:.0e}\n")
+
+    clan = min_clan_size(n, failure_prob=budget)
+    prob = dishonest_majority_prob(n, f, clan)
+    print(f"single-clan option: clan of {clan} "
+          f"({clan / n:.0%} of tribe), failure {prob:.2e}")
+
+    q = max_equal_clans(n, budget)
+    if q > 1:
+        partition_prob = equal_partition_prob(n, q)
+        print(f"multi-clan option : {q} clans of {n // q}, failure {partition_prob:.2e}")
+    else:
+        print("multi-clan option : none admissible at this budget")
+
+    model = AnalyticalModel(n=n)
+    rows = [
+        ("baseline Sailfish", model.peak_stable_throughput("sailfish", PAPER_LOADS)),
+        (
+            f"single-clan ({clan})",
+            model.peak_stable_throughput("single-clan", PAPER_LOADS, clan_size=clan),
+        ),
+    ]
+    if q > 1:
+        rows.append(
+            (
+                f"multi-clan ({q}x{n // q})",
+                model.peak_stable_throughput("multi-clan", PAPER_LOADS, clans=q),
+            )
+        )
+    print("\nprojected peak stable throughput (analytical model):")
+    for name, peak in rows:
+        print(f"  {name:22}: {peak / 1000.0:8.1f} kTPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Print EXPERIMENTS.md-ready tables from the current results/*.csv.
+
+Run after ``pytest benchmarks/ --benchmark-only`` to refresh the
+paper-vs-measured record:
+
+    python scripts/refresh_experiments_tables.py
+"""
+
+import csv
+import os
+import sys
+
+RESULTS = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+def load(name):
+    path = os.path.join(RESULTS, f"{name}.csv")
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        return list(csv.DictReader(fh))
+
+
+def fig5_summary():
+    print("### Simulation peaks (throughput kTPS / latency at heaviest load)")
+    for fig in ("fig5a", "fig5b", "fig5c"):
+        rows = load(f"{fig}_sim")
+        if not rows:
+            continue
+        protos = {}
+        for r in rows:
+            protos.setdefault(r["protocol"], []).append(r)
+        cells = []
+        for proto in ("sailfish", "single-clan", "multi-clan"):
+            if proto not in protos:
+                continue
+            peak = max(float(r["throughput_ktps"]) for r in protos[proto])
+            heavy = max(protos[proto], key=lambda r: int(r["txns/proposal"]))
+            cells.append(f"{proto}: {peak:.1f}k @ {heavy['avg_latency_s']}s")
+        print(f"  {fig} (n={rows[0]['n']}): " + " | ".join(cells))
+
+
+def fig6_summary():
+    rows = load("fig6_sim")
+    if not rows:
+        return
+    print("\n### Fig. 6 multi/single throughput ratios")
+    by = {}
+    for r in rows:
+        by[(r["protocol"], int(r["txns/proposal"]))] = float(r["throughput_ktps"])
+    loads = sorted({int(r["txns/proposal"]) for r in rows})
+    for point in loads:
+        single = by.get(("single-clan", point))
+        multi = by.get(("multi-clan", point))
+        if single and multi:
+            print(f"  load {point}: {multi / single:.2f}")
+
+
+def strawman_summary():
+    rows = load("strawman_comparison")
+    if rows:
+        print("\n### Straw-man comparison (δ units)")
+        for r in rows:
+            print(f"  {r['architecture']}: {r['avg_latency_delta']}δ")
+
+
+if __name__ == "__main__":
+    fig5_summary()
+    fig6_summary()
+    strawman_summary()

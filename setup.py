@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools 65 without the ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to ``setup.py develop``.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — clan-based DAG BFT SMR (EuroSys'26 reproduction).
+
+A from-scratch implementation of *Towards Improving Throughput and
+Scalability of DAG-based BFT SMR* (Shrestha & Kate): tribe-assisted reliable
+broadcast, single-clan and multi-clan Sailfish, the committee statistics
+behind them, and a benchmark harness regenerating every table and figure.
+
+Quick start::
+
+    from repro.committees import ClanConfig
+    from repro.smr import SmrRuntime
+
+    runtime = SmrRuntime(ClanConfig.single_clan(n=100, n_c=60, seed=1))
+    client = runtime.new_client("alice")
+    runtime.start()
+    txn = runtime.submit(client, ("set", "x", 42))
+    runtime.run(until=5.0)
+    assert client.result_of(txn.txn_id) == 42
+
+See README.md for the architecture map and DESIGN.md / EXPERIMENTS.md for
+the reproduction record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "committees",
+    "consensus",
+    "crypto",
+    "dag",
+    "net",
+    "rbc",
+    "sim",
+    "smr",
+    "strawman",
+]

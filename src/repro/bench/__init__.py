@@ -1,0 +1,26 @@
+"""Benchmark harness: workloads, runners, metrics, and the analytical model.
+
+Every table and figure of the paper's evaluation has a corresponding
+experiment here (see DESIGN.md §4 for the index):
+
+* Fig. 1 / §7 clan sizes — :func:`repro.bench.experiments.fig1_clan_sizes`.
+* Table 1 — :func:`repro.bench.experiments.table1_latency_matrix`.
+* Fig. 5a–c — :func:`repro.bench.experiments.fig5_curve` (message-level
+  simulation at configurable scale) and
+  :func:`repro.bench.model.model_curve` (analytical, paper scale).
+* Fig. 6 — :func:`repro.bench.experiments.fig6_load_sweep`.
+* §6.2 concrete probabilities — :func:`repro.bench.experiments.sec62_numbers`.
+"""
+
+from .metrics import RunMetrics, measure_run
+from .model import AnalyticalModel, ModelPoint
+from .runner import ExperimentConfig, run_experiment
+
+__all__ = [
+    "RunMetrics",
+    "measure_run",
+    "ExperimentConfig",
+    "run_experiment",
+    "AnalyticalModel",
+    "ModelPoint",
+]

@@ -1,0 +1,105 @@
+"""Text-mode scatter plots for figure curves.
+
+The benches and CLI render the Fig. 5 throughput-vs-latency curves as ASCII
+scatter plots so the reproduction's shapes are inspectable without any
+plotting dependency.  One character glyph per protocol; points that collide
+show the later series' glyph.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: Default glyph per protocol series.
+GLYPHS = {"sailfish": "s", "single-clan": "c", "multi-clan": "m"}
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    >>> out = ascii_plot({"a": [(0, 0), (10, 10)]}, width=12, height=4)
+    >>> "a" in out
+    True
+    """
+    if width < 8 or height < 3:
+        raise ConfigError("plot must be at least 8x3")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = GLYPHS.get(name, str(idx + 1))
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = top_label.rjust(pad)
+        elif row_idx == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_min:.3g}{' ' * max(1, width - 12)}{x_max:.3g}"
+    )
+    lines.append(" " * pad + f"  x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{GLYPHS.get(name, str(i + 1))}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def plot_throughput_latency(rows: list[dict], title: str = "") -> str:
+    """Fig. 5-style plot from experiment rows (throughput_ktps, latency)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        latency = row.get("avg_latency_s", row.get("latency_s"))
+        series.setdefault(row["protocol"], []).append(
+            (float(row["throughput_ktps"]), float(latency))
+        )
+    return ascii_plot(
+        series,
+        x_label="throughput (kTPS)",
+        y_label="latency (s)",
+        title=title,
+    )
+
+
+def plot_load_throughput(rows: list[dict], title: str = "") -> str:
+    """Fig. 6-style plot from experiment rows (load, throughput)."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(row["protocol"], []).append(
+            (float(row["txns/proposal"]), float(row["throughput_ktps"]))
+        )
+    return ascii_plot(
+        series,
+        x_label="txns/proposal",
+        y_label="throughput (kTPS)",
+        title=title,
+    )

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats`` — committee statistics (Fig. 1 / §6.2 machinery).
+* ``run`` — simulate one protocol configuration and print metrics.
+* ``sweep`` — a load sweep (one Fig. 5-style curve) for one protocol.
+* ``model`` — paper-scale analytical curves.
+* ``figures`` — regenerate a figure's data series (same code as the benches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.experiments import (
+    fig1_clan_sizes,
+    fig5_curve,
+    fig5_model_curve,
+    sec62_numbers,
+    sec7_clan_sizes,
+    table1_latency_matrix,
+)
+from .bench.model import AnalyticalModel, PAPER_LOADS
+from .bench.reporting import format_table
+from .bench.runner import ExperimentConfig, run_experiment
+from .committees.hypergeometric import dishonest_majority_prob, min_clan_size
+from .committees.multiclan import equal_partition_prob, max_equal_clans
+from .types import max_faults, quorum_size
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    n = args.n
+    budget = 10.0 ** -args.exponent
+    f = max_faults(n)
+    clan = min_clan_size(n, failure_prob=budget)
+    rows = [
+        {
+            "quantity": "tribe",
+            "value": f"n={n}, f={f}, quorum={quorum_size(n)}",
+        },
+        {
+            "quantity": f"min single clan @ {budget:.0e}",
+            "value": f"{clan} (failure {dishonest_majority_prob(n, f, clan):.2e})",
+        },
+    ]
+    q = max_equal_clans(n, budget)
+    if q > 1:
+        rows.append(
+            {
+                "quantity": f"max equal clans @ {budget:.0e}",
+                "value": f"{q} x {n // q} (failure {equal_partition_prob(n, q):.2e})",
+            }
+        )
+    else:
+        rows.append({"quantity": f"max equal clans @ {budget:.0e}", "value": "1 (no partition)"})
+    print(format_table(rows, f"Committee statistics for n={n}"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        n=args.n,
+        txns_per_proposal=args.load,
+        clan_size=args.clan_size,
+        clans=args.clans,
+        bandwidth_bps=args.bandwidth_mbps * 1e6,
+        duration=args.duration,
+        warmup=min(args.duration / 3.0, 3.0),
+    )
+    metrics = run_experiment(config)
+    print(format_table([
+        {"metric": "throughput", "value": f"{metrics.throughput_tps / 1000.0:.2f} kTPS"},
+        {"metric": "avg latency", "value": f"{metrics.avg_latency_s:.3f} s"},
+        {"metric": "p95 latency", "value": f"{metrics.p95_latency_s:.3f} s"},
+        {"metric": "rounds", "value": str(metrics.rounds)},
+        {"metric": "committed txns", "value": str(metrics.committed_txns)},
+        {"metric": "total traffic", "value": f"{metrics.total_bytes / 1e6:.1f} MB"},
+    ], f"{args.protocol} n={args.n} load={args.load}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    loads = [int(x) for x in args.loads.split(",")]
+    rows = []
+    for load in loads:
+        config = ExperimentConfig(
+            protocol=args.protocol,
+            n=args.n,
+            txns_per_proposal=load,
+            clan_size=args.clan_size,
+            clans=args.clans,
+            bandwidth_bps=args.bandwidth_mbps * 1e6,
+            duration=args.duration,
+            warmup=min(args.duration / 3.0, 3.0),
+        )
+        metrics = run_experiment(config)
+        rows.append({"load": load, **metrics.row()})
+    print(format_table(rows, f"{args.protocol} n={args.n} load sweep"))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    model = AnalyticalModel(n=args.n)
+    rows = []
+    rows += [p.row() for p in model.curve("sailfish", PAPER_LOADS)]
+    if args.clan_size:
+        rows += [
+            p.row()
+            for p in model.curve("single-clan", PAPER_LOADS, clan_size=args.clan_size)
+        ]
+    if args.clans > 1:
+        rows += [p.row() for p in model.curve("multi-clan", PAPER_LOADS, clans=args.clans)]
+    print(format_table(rows, f"Analytical model at n={args.n}"))
+    return 0
+
+
+_FIGURES = {
+    "fig1": lambda: fig1_clan_sizes(),
+    "table1": table1_latency_matrix,
+    "sec62": sec62_numbers,
+    "sec7": sec7_clan_sizes,
+    "fig5a": lambda: fig5_curve("fig5a"),
+    "fig5b": lambda: fig5_curve("fig5b"),
+    "fig5c": lambda: fig5_curve("fig5c"),
+    "fig5a-model": lambda: fig5_model_curve("fig5a"),
+    "fig5b-model": lambda: fig5_model_curve("fig5b"),
+    "fig5c-model": lambda: fig5_model_curve("fig5c"),
+}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    producer = _FIGURES.get(args.figure)
+    if producer is None:
+        print(f"unknown figure {args.figure!r}; choose from {sorted(_FIGURES)}")
+        return 2
+    rows = producer()
+    print(format_table(rows, f"Reproduction data: {args.figure}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Clan-based DAG BFT SMR reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="committee statistics for a tribe size")
+    stats.add_argument("n", type=int)
+    stats.add_argument("--exponent", type=int, default=6, help="failure budget 10^-e")
+    stats.set_defaults(fn=_cmd_stats)
+
+    def add_run_args(p):
+        p.add_argument("--protocol", default="single-clan",
+                       choices=["sailfish", "single-clan", "multi-clan"])
+        p.add_argument("--n", type=int, default=16)
+        p.add_argument("--clan-size", type=int, default=None)
+        p.add_argument("--clans", type=int, default=2)
+        p.add_argument("--bandwidth-mbps", type=float, default=400.0)
+        p.add_argument("--duration", type=float, default=8.0)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    add_run_args(run)
+    run.add_argument("--load", type=int, default=500, help="txns per proposal")
+    run.set_defaults(fn=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="simulate a load sweep")
+    add_run_args(sweep)
+    sweep.add_argument("--loads", default="32,250,1000,3000")
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    model = sub.add_parser("model", help="paper-scale analytical curves")
+    model.add_argument("--n", type=int, default=150)
+    model.add_argument("--clan-size", type=int, default=80)
+    model.add_argument("--clans", type=int, default=2)
+    model.set_defaults(fn=_cmd_model)
+
+    figures = sub.add_parser("figures", help="regenerate a paper artifact's data")
+    figures.add_argument("figure", choices=sorted(_FIGURES))
+    figures.set_defaults(fn=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("run", "sweep") and args.protocol == "single-clan":
+        if args.clan_size is None:
+            args.clan_size = max(4, args.n // 2)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

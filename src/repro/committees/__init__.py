@@ -1,0 +1,28 @@
+"""Clan statistics, sizing, and election.
+
+* :mod:`repro.committees.hypergeometric` — exact single-clan dishonest-majority
+  probability (paper Eq. 1–2) and minimal clan-size search (Fig. 1).
+* :mod:`repro.committees.multiclan` — exact partition counting for multiple
+  disjoint clans (paper §6.2, Eqs. 3–7).
+* :mod:`repro.committees.election` — seeded random clan election/partition.
+* :mod:`repro.committees.config` — :class:`ClanConfig`, the single object that
+  turns the shared consensus core into baseline / single-clan / multi-clan.
+"""
+
+from .config import ClanConfig
+from .election import elect_clan, partition_clans
+from .hypergeometric import dishonest_majority_prob, min_clan_size
+from .rotation import ClanSchedule, StaticSchedule
+from .multiclan import max_equal_clans, multi_clan_dishonest_prob
+
+__all__ = [
+    "dishonest_majority_prob",
+    "min_clan_size",
+    "multi_clan_dishonest_prob",
+    "max_equal_clans",
+    "elect_clan",
+    "partition_clans",
+    "ClanConfig",
+    "ClanSchedule",
+    "StaticSchedule",
+]

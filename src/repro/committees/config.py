@@ -1,0 +1,147 @@
+"""Clan configuration: the one object that selects the protocol variant.
+
+The consensus core (DAG construction, commit and ordering rules) is identical
+across the paper's three protocols; they differ only in *who proposes blocks*
+and *where blocks are disseminated*:
+
+* **baseline Sailfish** — one clan containing the whole tribe; every party
+  proposes blocks; blocks go to everyone (standard RBC behaviour).
+* **single-clan** — one elected clan with honest majority whp; only clan
+  members propose blocks; blocks go only to the clan.
+* **multi-clan** — the tribe partitioned into ``q`` clans; every party
+  proposes blocks; each block goes only to the proposer's clan.
+
+:class:`ClanConfig` captures exactly that and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CommitteeError
+from ..types import (
+    NodeId,
+    clan_max_faults,
+    clan_response_quorum,
+    max_faults,
+    quorum_size,
+)
+from .election import elect_clan, partition_clans
+
+
+@dataclass(frozen=True)
+class ClanConfig:
+    """Immutable description of the clan structure of a run."""
+
+    n: int
+    mode: str
+    clans: tuple[frozenset[NodeId], ...]
+    block_proposers: frozenset[NodeId]
+    _clan_of: dict[NodeId, int] = field(repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise CommitteeError(f"tribe size must be positive, got {self.n}")
+        seen: set[NodeId] = set()
+        for clan in self.clans:
+            if not clan:
+                raise CommitteeError("clans must be non-empty")
+            overlap = seen & clan
+            if overlap:
+                raise CommitteeError(f"clans overlap on parties {sorted(overlap)}")
+            if any(not 0 <= p < self.n for p in clan):
+                raise CommitteeError("clan member out of tribe range")
+            seen |= clan
+        if not self.block_proposers:
+            raise CommitteeError("need at least one block proposer")
+        object.__setattr__(self, "_clan_of", self._build_clan_of())
+        # Every block proposer must be able to validate/execute, i.e. belong
+        # to the clan its blocks go to (§5: only clan members propose blocks).
+        for proposer in self.block_proposers:
+            if self.clan_index_of(proposer) is None:
+                raise CommitteeError(f"block proposer {proposer} belongs to no clan")
+
+    def _build_clan_of(self) -> dict[NodeId, int]:
+        mapping: dict[NodeId, int] = {}
+        for idx, clan in enumerate(self.clans):
+            for party in clan:
+                mapping[party] = idx
+        return mapping
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def f(self) -> int:
+        """Tribe-level fault bound f = floor((n-1)/3)."""
+        return max_faults(self.n)
+
+    @property
+    def quorum(self) -> int:
+        """Tribe-level Byzantine quorum (see types.quorum_size)."""
+        return quorum_size(self.n)
+
+    @property
+    def num_clans(self) -> int:
+        return len(self.clans)
+
+    def clan(self, idx: int) -> frozenset[NodeId]:
+        return self.clans[idx]
+
+    def clan_index_of(self, party: NodeId) -> int | None:
+        """Index of the clan ``party`` belongs to, or ``None`` if outside all."""
+        if self._clan_of:
+            return self._clan_of.get(party)
+        for idx, clan in enumerate(self.clans):
+            if party in clan:
+                return idx
+        return None
+
+    def clan_faults(self, idx: int) -> int:
+        """f_c for clan ``idx``: honest majority tolerates ceil(n_c/2)-1 faults."""
+        return clan_max_faults(len(self.clans[idx]))
+
+    def clan_echo_quorum(self, idx: int) -> int:
+        """ECHOs required *from the clan* in tribe-assisted RBC: f_c + 1."""
+        return self.clan_faults(idx) + 1
+
+    def clan_client_quorum(self, idx: int) -> int:
+        """Matching replies a client needs from clan ``idx``: f_c + 1."""
+        return clan_response_quorum(len(self.clans[idx]))
+
+    def is_block_proposer(self, party: NodeId) -> bool:
+        return party in self.block_proposers
+
+    def block_clan_of(self, proposer: NodeId) -> int:
+        """Which clan receives the blocks proposed by ``proposer``."""
+        idx = self.clan_index_of(proposer)
+        if idx is None:
+            raise CommitteeError(
+                f"party {proposer} proposes no blocks (outside every clan)"
+            )
+        return idx
+
+    def executes(self, party: NodeId) -> bool:
+        """Whether ``party`` executes transactions (i.e. is in some clan)."""
+        return self.clan_index_of(party) is not None
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def baseline(n: int) -> "ClanConfig":
+        """Plain Sailfish: everyone is in the (single) clan, everyone proposes."""
+        everyone = frozenset(range(n))
+        return ClanConfig(n=n, mode="baseline", clans=(everyone,), block_proposers=everyone)
+
+    @staticmethod
+    def single_clan(n: int, n_c: int, seed: int = 0) -> "ClanConfig":
+        """One elected clan; only clan members propose blocks (§5)."""
+        clan = elect_clan(n, n_c, seed)
+        return ClanConfig(n=n, mode="single-clan", clans=(clan,), block_proposers=clan)
+
+    @staticmethod
+    def multi_clan(n: int, q: int, seed: int = 0) -> "ClanConfig":
+        """Tribe partitioned into ``q`` clans; every party proposes (§6)."""
+        clans = tuple(partition_clans(n, q, seed))
+        return ClanConfig(
+            n=n, mode="multi-clan", clans=clans, block_proposers=frozenset(range(n))
+        )

@@ -1,0 +1,47 @@
+"""Seeded random clan election and tribe partitioning.
+
+The paper samples clans uniformly at random (so the hypergeometric analysis
+applies) and, for multi-clan, partitions the whole tribe.  Both operations are
+driven by a named RNG stream so every simulation run is reproducible.
+"""
+
+from __future__ import annotations
+
+from ..errors import CommitteeError
+from ..sim.rng import make_rng
+from ..types import NodeId
+
+
+def elect_clan(n: int, n_c: int, seed: int = 0) -> frozenset[NodeId]:
+    """Sample a clan of ``n_c`` parties uniformly from a tribe of ``n``.
+
+    >>> clan = elect_clan(10, 4, seed=1)
+    >>> len(clan), all(0 <= p < 10 for p in clan)
+    (4, True)
+    """
+    if not 1 <= n_c <= n:
+        raise CommitteeError(f"clan size {n_c} out of range for tribe of {n}")
+    rng = make_rng(seed, "clan-election", n, n_c)
+    return frozenset(rng.sample(range(n), n_c))
+
+
+def partition_clans(n: int, q: int, seed: int = 0) -> list[frozenset[NodeId]]:
+    """Partition the tribe into ``q`` disjoint clans of near-equal size.
+
+    When ``q`` does not divide ``n`` the first ``n % q`` clans get one extra
+    member.  The partition is a uniformly random shuffle chunked in order,
+    matching the counting model of §6.2.
+    """
+    if not 1 <= q <= n:
+        raise CommitteeError(f"clan count {q} out of range for tribe of {n}")
+    rng = make_rng(seed, "clan-partition", n, q)
+    order = list(range(n))
+    rng.shuffle(order)
+    base, extra = divmod(n, q)
+    clans: list[frozenset[NodeId]] = []
+    index = 0
+    for clan_idx in range(q):
+        size = base + (1 if clan_idx < extra else 0)
+        clans.append(frozenset(order[index : index + size]))
+        index += size
+    return clans

@@ -1,0 +1,127 @@
+"""Exact multi-clan security statistics (paper §6.2, Eqs. 3–7).
+
+When the tribe is *partitioned* into disjoint clans, the clans' Byzantine
+counts are dependent, so the single-clan hypergeometric tail (Eq. 1) does not
+apply — the paper makes exactly this point against Arete.  Instead we count
+partitions: of all ways to deal the ``n`` parties into clans of the given
+sizes, how many give *every* clan an honest majority?
+
+The count generalizes the paper's 2-clan (Eq. 3–5) and 3-clan (Eq. 6–7)
+derivations to any number of clans with a dynamic program over clans, carrying
+the number of Byzantine parties still to be placed.  All arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+
+from ..errors import CommitteeError
+from ..types import clan_max_faults, max_faults
+
+
+def _validate_partition(n: int, f: int, clan_sizes: list[int]) -> None:
+    if n < 1:
+        raise CommitteeError(f"tribe size must be positive, got {n}")
+    if not 0 <= f <= n:
+        raise CommitteeError(f"fault count f={f} out of range for n={n}")
+    if not clan_sizes:
+        raise CommitteeError("need at least one clan")
+    if any(size < 1 for size in clan_sizes):
+        raise CommitteeError(f"clan sizes must be positive, got {clan_sizes}")
+    if sum(clan_sizes) != n:
+        raise CommitteeError(
+            f"clan sizes {clan_sizes} must partition the tribe of {n} parties"
+        )
+
+
+def multi_clan_dishonest_prob(n: int, f: int, clan_sizes: list[int]) -> float:
+    """Exact probability that *some* clan of the partition lacks honest majority.
+
+    Args:
+        n: tribe size; ``clan_sizes`` must sum to ``n``.
+        f: number of Byzantine parties in the tribe.
+        clan_sizes: sizes of the disjoint clans.
+
+    Returns ``1 - s/N`` per Eq. 5, where ``s`` counts partitions in which every
+    clan has at most ``f_c = ceil(n_c/2) - 1`` Byzantine members and ``N`` is
+    the total number of partitions into the given (labelled) clan sizes.
+    """
+    _validate_partition(n, f, clan_sizes)
+    honest = n - f
+
+    # Total labelled partitions: choose each clan from the remainder; the last
+    # clan is determined, matching the paper's N for 2 and 3 clans.
+    total = 1
+    remaining = n
+    for size in clan_sizes[:-1]:
+        total *= comb(remaining, size)
+        remaining -= size
+
+    valid = _count_valid(f, honest, clan_sizes)
+    if valid == total:
+        return 0.0
+    return float(1 - Fraction(valid, total))
+
+
+def _count_valid(f: int, honest: int, clan_sizes: list[int]) -> int:
+    """Count partitions where every clan has ≤ f_c Byzantine members.
+
+    DP state: Byzantine parties left to place (honest-left is implied by how
+    many parties have been placed so far).
+    """
+    ways: dict[int, int] = {f: 1}
+    placed = 0
+    for idx, size in enumerate(clan_sizes):
+        last = idx == len(clan_sizes) - 1
+        f_c = clan_max_faults(size)
+        new_ways: dict[int, int] = {}
+        for byz_left, count in ways.items():
+            honest_left = honest - (placed - (f - byz_left))
+            low = max(0, size - honest_left)
+            high = min(f_c, byz_left, size)
+            for w in range(low, high + 1):
+                if last and byz_left != w:
+                    continue
+                contrib = count * comb(byz_left, w) * comb(honest_left, size - w)
+                if contrib:
+                    key = byz_left - w
+                    new_ways[key] = new_ways.get(key, 0) + contrib
+        ways = new_ways
+        placed += size
+        if not ways:
+            return 0
+    return ways.get(0, 0)
+
+
+def equal_partition_prob(n: int, q: int, f: int | None = None) -> float:
+    """Dishonest-majority probability for a partition into ``q`` equal clans.
+
+    Requires ``q`` to divide ``n``; matches the paper's n=150/q=2 and
+    n=387/q=3 concrete numbers.
+    """
+    if q < 1:
+        raise CommitteeError(f"clan count must be positive, got {q}")
+    if n % q != 0:
+        raise CommitteeError(f"q={q} does not divide n={n}")
+    f = max_faults(n) if f is None else f
+    return multi_clan_dishonest_prob(n, f, [n // q] * q)
+
+
+def max_equal_clans(n: int, failure_prob: float, f: int | None = None) -> int:
+    """Largest ``q`` (dividing ``n``) with partition failure ≤ ``failure_prob``.
+
+    Returns 1 when no multi-clan partition meets the bound (a single clan of
+    the whole tribe trivially has an honest majority since f < n/3).
+    """
+    if not 0.0 < failure_prob < 1.0:
+        raise CommitteeError(f"failure probability must be in (0,1), got {failure_prob}")
+    best = 1
+    for q in range(2, n + 1):
+        if n % q != 0:
+            continue
+        if n // q < 3:
+            break
+        if equal_partition_prob(n, q, f) <= failure_prob:
+            best = q
+    return best

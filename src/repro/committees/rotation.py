@@ -1,0 +1,101 @@
+"""Epoch-based clan rotation.
+
+The paper samples clans uniformly at random; in a long-running deployment the
+natural hardening is to *re-sample* periodically so no fixed clan stays a
+target.  A :class:`ClanSchedule` partitions rounds into epochs of ``E``
+rounds and derives each epoch's :class:`~repro.committees.config.ClanConfig`
+from a seeded randomness beacon — every honest party computes the same
+schedule locally.
+
+The statistical guarantee composes over epochs by a union bound: with
+per-epoch failure probability p, a run of ``k`` epochs fails with probability
+≤ k·p (choose the per-epoch budget accordingly).
+"""
+
+from __future__ import annotations
+
+from ..errors import CommitteeError
+from ..sim.rng import stream_seed
+from ..types import Round
+from .config import ClanConfig
+
+
+class ClanSchedule:
+    """Derives the clan configuration in force for any round.
+
+    Args:
+        mode: "baseline" | "single-clan" | "multi-clan".
+        n: tribe size.
+        epoch_length: rounds per epoch (0 disables rotation — one epoch
+            forever, equivalent to a static config).
+        clan_size: single-clan size.
+        clans: number of clans (multi-clan).
+        seed: beacon seed; epoch e uses ``stream_seed(seed, "epoch", e)``.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        n: int,
+        epoch_length: int = 0,
+        clan_size: int | None = None,
+        clans: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("baseline", "single-clan", "multi-clan"):
+            raise CommitteeError(f"unknown mode {mode!r}")
+        if epoch_length < 0:
+            raise CommitteeError("epoch length cannot be negative")
+        if mode == "single-clan" and clan_size is None:
+            raise CommitteeError("single-clan schedule needs clan_size")
+        self.mode = mode
+        self.n = n
+        self.epoch_length = epoch_length
+        self.clan_size = clan_size
+        self.clans = clans
+        self.seed = seed
+        self._cache: dict[int, ClanConfig] = {}
+
+    def epoch_of(self, round_: Round) -> int:
+        """The epoch a round belongs to (round 1 starts epoch 0)."""
+        if self.epoch_length == 0:
+            return 0
+        return max(0, (round_ - 1)) // self.epoch_length
+
+    def cfg_at(self, round_: Round) -> ClanConfig:
+        """The clan configuration in force for ``round_``."""
+        return self.cfg_of_epoch(self.epoch_of(round_))
+
+    def cfg_of_epoch(self, epoch: int) -> ClanConfig:
+        cfg = self._cache.get(epoch)
+        if cfg is None:
+            epoch_seed = stream_seed(self.seed, "epoch", epoch)
+            if self.mode == "baseline":
+                cfg = ClanConfig.baseline(self.n)
+            elif self.mode == "single-clan":
+                cfg = ClanConfig.single_clan(self.n, self.clan_size, seed=epoch_seed)
+            else:
+                cfg = ClanConfig.multi_clan(self.n, self.clans, seed=epoch_seed)
+            self._cache[epoch] = cfg
+        return cfg
+
+    @staticmethod
+    def static(cfg: ClanConfig) -> "StaticSchedule":
+        return StaticSchedule(cfg)
+
+
+class StaticSchedule:
+    """A schedule that never rotates (wraps one fixed config)."""
+
+    def __init__(self, cfg: ClanConfig) -> None:
+        self.cfg = cfg
+        self.epoch_length = 0
+
+    def epoch_of(self, round_: Round) -> int:
+        return 0
+
+    def cfg_at(self, round_: Round) -> ClanConfig:
+        return self.cfg
+
+    def cfg_of_epoch(self, epoch: int) -> ClanConfig:
+        return self.cfg

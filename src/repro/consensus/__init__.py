@@ -1,0 +1,15 @@
+"""Sailfish-style DAG BFT consensus with clan-based dissemination.
+
+One consensus core (:class:`~repro.consensus.node.SailfishNode`) implements
+the paper's three protocols; the :class:`~repro.committees.ClanConfig` passed
+to it selects baseline Sailfish, single-clan, or multi-clan behaviour.
+:class:`~repro.consensus.deployment.Deployment` wires a whole tribe together
+over one simulated network.
+"""
+
+from .deployment import Deployment
+from .leader import LeaderSchedule
+from .node import SailfishNode
+from .params import ProtocolParams
+
+__all__ = ["ProtocolParams", "LeaderSchedule", "SailfishNode", "Deployment"]

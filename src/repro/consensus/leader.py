@@ -1,0 +1,53 @@
+"""Leader schedules.
+
+Each round has one (or, with ``leaders_per_round > 1``, several) leaders
+whose vertices anchor the commit rule.  The schedule is a seeded permutation
+re-drawn every ``n`` rounds, so leadership rotates fairly and unpredictably
+but identically at every honest party.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConsensusError
+from ..sim.rng import make_rng
+from ..types import NodeId, Round
+
+
+class LeaderSchedule:
+    """Deterministic rotating leader schedule over ``n`` parties."""
+
+    def __init__(self, n: int, seed: int = 0, leaders_per_round: int = 1) -> None:
+        if n < 1:
+            raise ConsensusError(f"need at least one party, got {n}")
+        if not 1 <= leaders_per_round <= n:
+            raise ConsensusError(
+                f"leaders_per_round {leaders_per_round} out of range for n={n}"
+            )
+        self.n = n
+        self.seed = seed
+        self.leaders_per_round = leaders_per_round
+        self._epochs: dict[int, list[NodeId]] = {}
+
+    def _epoch_order(self, epoch: int) -> list[NodeId]:
+        order = self._epochs.get(epoch)
+        if order is None:
+            order = list(range(self.n))
+            make_rng(self.seed, "leader-schedule", epoch).shuffle(order)
+            self._epochs[epoch] = order
+        return order
+
+    def leader(self, round_: Round) -> NodeId:
+        """The primary leader of ``round_``."""
+        return self.leaders(round_)[0]
+
+    def leaders(self, round_: Round) -> list[NodeId]:
+        """All leaders of ``round_`` (multi-leader extension)."""
+        if round_ < 1:
+            raise ConsensusError(f"rounds start at 1, got {round_}")
+        epoch, slot = divmod(round_ - 1, self.n)
+        order = self._epoch_order(epoch)
+        picked = [order[(slot + k) % self.n] for k in range(self.leaders_per_round)]
+        return picked
+
+    def is_leader(self, round_: Round, node_id: NodeId) -> bool:
+        return node_id in self.leaders(round_)

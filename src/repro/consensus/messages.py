@@ -1,0 +1,161 @@
+"""Consensus wire messages: merged vertex+block dissemination and no-votes.
+
+The merged RBC (§5, "Efficiently propagating the vertex and the block") sends
+one VAL per recipient: clan members of the proposer's clan receive vertex AND
+block; everyone else receives the vertex alone (which embeds the block
+digest).  ECHO/READY/CERT all refer to the *vertex digest*, which covers the
+block digest, so one instance certifies both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.certificates import QuorumCertificate
+from ..crypto.hashing import digest as compute_digest
+from ..crypto.signatures import Signature
+from ..dag.block import Block
+from ..dag.vertex import Vertex
+from ..net import sizes
+from ..net.message import Message
+from ..types import NodeId, Round
+
+
+def vertex_val_statement(origin: NodeId, round_: Round, vertex_digest: bytes) -> bytes:
+    return compute_digest(b"VVAL", origin, round_, vertex_digest)
+
+
+def vertex_echo_statement(origin: NodeId, round_: Round, vertex_digest: bytes) -> bytes:
+    return compute_digest(b"VECHO", origin, round_, vertex_digest)
+
+
+def no_vote_statement(round_: Round) -> bytes:
+    return compute_digest(b"NOVOTE", round_)
+
+
+@dataclass(slots=True)
+class VertexValMsg(Message):
+    """Merged VAL: the vertex for everyone, the block for clan members."""
+
+    vertex: Vertex
+    block: Block | None
+    signature: Signature | None
+
+    @property
+    def origin(self) -> NodeId:
+        return self.vertex.source
+
+    @property
+    def round(self) -> Round:
+        return self.vertex.round
+
+    @property
+    def signed(self) -> bool:
+        return self.signature is not None
+
+    def wire_size(self) -> int:
+        size = self.vertex.wire_size()
+        if self.block is not None:
+            size += self.block.wire_size()
+        if self.signature is not None:
+            size += sizes.SIGNATURE_SIZE
+        return size
+
+
+@dataclass(slots=True)
+class VertexEchoMsg(Message):
+    """ECHO over the vertex digest (signed in two-round mode)."""
+
+    origin: NodeId
+    round: Round
+    vertex_digest: bytes
+    signature: Signature | None = None
+
+    @property
+    def signed(self) -> bool:
+        return self.signature is not None
+
+    def wire_size(self) -> int:
+        size = sizes.HEADER_SIZE + sizes.HASH_SIZE
+        if self.signature is not None:
+            size += sizes.SIGNATURE_SIZE
+        return size
+
+
+@dataclass(slots=True)
+class VertexReadyMsg(Message):
+    """READY over the vertex digest (bracha mode only)."""
+
+    origin: NodeId
+    round: Round
+    vertex_digest: bytes
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + sizes.HASH_SIZE
+
+
+@dataclass(slots=True)
+class VertexCertMsg(Message):
+    """EC_r certificate over the vertex digest (two-round mode only)."""
+
+    origin: NodeId
+    round: Round
+    vertex_digest: bytes
+    cert: QuorumCertificate
+    n: int
+
+    signed = True
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + sizes.HASH_SIZE + self.cert.wire_size(self.n)
+
+
+@dataclass(slots=True)
+class NoVoteMsg(Message):
+    """Signed complaint: the sender saw no leader vertex for ``round``."""
+
+    round: Round
+    signature: Signature
+
+    signed = True
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + sizes.SIGNATURE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class NoVoteCertificate:
+    """2f+1 aggregated no-votes for ``round`` — carried in the next leader's
+    vertex (``v.nvc``) to justify the missing strong edge to the leader."""
+
+    round: Round
+    cert: QuorumCertificate
+
+    @property
+    def signers(self) -> frozenset[NodeId]:
+        return self.cert.signers
+
+    def wire_size(self) -> int:
+        # Bitmap sized for a "large" committee; refined by the caller if needed.
+        return sizes.HASH_SIZE + sizes.BLS_SIGNATURE_SIZE + 32
+
+
+@dataclass(slots=True)
+class VertexRequestMsg(Message):
+    """Pull request for a missing vertex (off the consensus critical path)."""
+
+    origin: NodeId
+    round: Round
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE
+
+
+@dataclass(slots=True)
+class VertexResponseMsg(Message):
+    """Pull response carrying the full vertex."""
+
+    vertex: Vertex
+
+    def wire_size(self) -> int:
+        return self.vertex.wire_size() + sizes.HEADER_SIZE

@@ -1,0 +1,380 @@
+"""The Sailfish-style consensus node.
+
+One implementation serves all three protocols of the paper; the
+:class:`~repro.committees.ClanConfig` decides who proposes blocks and where
+they are disseminated.  The consensus rules are Sailfish's:
+
+* Every party proposes one vertex per round via the merged RBC.
+* A round-r vertex strong-references all delivered round-(r-1) vertices
+  (≥ 2f+1), and weak-references uncovered older vertices.
+* **Voting**: a round-(r+1) vertex whose strong edges include the round-r
+  leader vertex is a vote for it.  Votes are counted from the *first
+  dissemination message* (VAL), giving the 1-RBC + 1δ commit latency.
+* **Commit**: 2f+1 votes + the leader vertex delivered → direct commit;
+  earlier uncommitted leaders commit indirectly when a strong path from the
+  newly committed leader reaches them.
+* **No-votes**: a party that times out waiting for the round-r leader vertex
+  multicasts a signed no-vote and withholds its strong edge to that leader;
+  2f+1 no-votes form the NVC the round-(r+1) leader embeds instead of a
+  leader edge.
+* **Total order**: committed leaders, in round order, each append their
+  not-yet-ordered causal history deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from ..committees.config import ClanConfig
+from ..crypto.certificates import build_certificate, verify_certificate
+from ..crypto.signatures import Pki
+from ..dag.block import Block
+from ..dag.ordering import OrderingEngine
+from ..dag.store import DagStore
+from ..dag.vertex import Vertex, VertexRef
+from ..errors import ConsensusError
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..sim.timers import Timer
+from ..types import NodeId, Round
+from .leader import LeaderSchedule
+from .messages import NoVoteCertificate, NoVoteMsg, no_vote_statement
+from .params import ProtocolParams
+from .vertex_rbc import VertexRbc
+
+#: Hook invoked for each newly ordered vertex: (node, vertex, time).
+OrderedHook = Callable[["SailfishNode", Vertex, float], None]
+
+
+class SailfishNode:
+    """One party of the tribe."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clan_cfg: ClanConfig,
+        network: Network,
+        sim: Simulator,
+        pki: Pki,
+        schedule: LeaderSchedule,
+        params: ProtocolParams,
+        make_block: Callable[[NodeId, Round, float], Block | None] | None = None,
+        on_ordered: OrderedHook | None = None,
+        on_block_ready: Callable[["SailfishNode", Block], None] | None = None,
+        clan_schedule=None,
+    ) -> None:
+        self.node_id = node_id
+        self.cfg = clan_cfg
+        if clan_schedule is None:
+            from ..committees.rotation import StaticSchedule
+
+            clan_schedule = StaticSchedule(clan_cfg)
+        self.clan_schedule = clan_schedule
+        self.network = network
+        self.sim = sim
+        self.pki = pki
+        self.schedule = schedule
+        self.params = params
+        self.make_block = make_block
+        self.on_ordered = on_ordered
+        self.on_block_ready = on_block_ready
+
+        self.store = DagStore(clan_cfg.n)
+        self.ordering = OrderingEngine(self.store)
+        self.rbc = VertexRbc(
+            node_id,
+            clan_cfg,
+            network,
+            sim,
+            pki,
+            on_first_val=self._on_first_val,
+            on_vertex=self._on_vertex_delivered,
+            on_block=self._on_block_delivered,
+            mode=params.rbc_mode,
+            verify_signatures=params.verify_signatures,
+            retry_timeout=params.retry_timeout,
+            schedule=clan_schedule,
+        )
+
+        self.round: Round = 0
+        self.started = False
+        #: Votes per leader round: set of voting vertex sources.
+        self.votes: dict[Round, set[NodeId]] = defaultdict(set)
+        #: No-vote signatures collected per round.
+        self.no_votes: dict[Round, dict[NodeId, object]] = defaultdict(dict)
+        self.no_voted: set[Round] = set()
+        self.timeout_fired: set[Round] = set()
+        self.last_committed_round: Round = 0
+        self.committed_leaders: list[Vertex] = []
+        #: (vertex, simulated commit time) in total order.
+        self.ordered_log: list[tuple[Vertex, float]] = []
+        #: Blocks available locally, by digest (clan duty).
+        self.blocks: dict[bytes, Block] = {}
+        self._timer = Timer(sim, params.leader_timeout, self._on_timeout)
+        self._proposed: set[Round] = set()
+        #: Validity of attached leader vertices (leader-edge-or-NVC rule).
+        self._leader_valid: dict[Round, bool] = {}
+        network.register(node_id, self._on_message)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Enter round 1 and propose the first vertex."""
+        if self.started:
+            raise ConsensusError("node already started")
+        self.started = True
+        self._enter_round(1)
+
+    def _enter_round(self, round_: Round) -> None:
+        self.round = round_
+        if self.params.max_rounds and round_ > self.params.max_rounds:
+            self._timer.cancel()
+            return
+        self._timer.start(self.params.leader_timeout)
+        self._propose(round_)
+
+    # -- proposing ------------------------------------------------------------------
+
+    def _propose(self, round_: Round) -> None:
+        if round_ in self._proposed:
+            return
+        self._proposed.add(round_)
+        strong = self._strong_edges(round_)
+        if round_ > 1 and len(strong) < self.cfg.quorum:
+            raise ConsensusError(
+                f"node {self.node_id} proposing round {round_} with "
+                f"{len(strong)} strong edges < quorum {self.cfg.quorum}"
+            )
+        weak = tuple(
+            v.ref()
+            for v in sorted(
+                self.store.uncovered_before(round_ - 1), key=lambda v: v.key
+            )
+        )
+        nvc = self._leader_nvc(round_, strong)
+        block = None
+        round_cfg = self.clan_schedule.cfg_at(round_)
+        if round_cfg.is_block_proposer(self.node_id) and self.make_block is not None:
+            block = self.make_block(self.node_id, round_, self.sim.now)
+        vertex = Vertex(
+            round=round_,
+            source=self.node_id,
+            block_digest=block.payload_digest() if block is not None else None,
+            strong_edges=strong,
+            weak_edges=weak,
+            nvc=nvc,
+        )
+        if block is not None:
+            self.blocks[vertex.block_digest] = block
+        self.rbc.broadcast(vertex, block)
+
+    def _strong_edges(self, round_: Round) -> tuple[VertexRef, ...]:
+        prev = round_ - 1
+        vertices = self.store.round_vertices(prev)
+        leader = self.schedule.leader(prev) if prev >= 1 else None
+        if leader is not None:
+            drop_leader = False
+            if not self._leader_vertex_valid(prev):
+                # Never reference (vote for) an invalid leader vertex.
+                drop_leader = True
+            elif prev in self.no_voted and self.schedule.leader(round_) != self.node_id:
+                # A no-voter promised not to vote: drop the leader edge even
+                # if the leader vertex arrived after the timeout.  Exception:
+                # the round-`round_` leader may reference it — its own no-vote
+                # can only ever appear in the NVC that it alone consumes, so
+                # the NVC/commit intersection argument is unaffected, and the
+                # exception restores liveness when the NVC cannot form.
+                drop_leader = True
+            if drop_leader:
+                vertices = [v for v in vertices if v.source != leader]
+        return tuple(v.ref() for v in sorted(vertices, key=lambda v: v.source))
+
+    def _leader_vertex_valid(self, round_: Round) -> bool:
+        """Is the attached round-``round_`` leader vertex vote-eligible?
+
+        A leader vertex must either strong-reference the previous leader
+        vertex or carry a verifiable NVC for the previous round (§5/Fig. 4).
+        Returns False when the leader vertex is not attached yet.
+        """
+        cached = self._leader_valid.get(round_)
+        if cached is not None:
+            return cached
+        vertex = self.store.get(round_, self.schedule.leader(round_))
+        if vertex is None:
+            return False
+        valid = self._validate_leader_vertex(vertex)
+        self._leader_valid[round_] = valid
+        return valid
+
+    def _validate_leader_vertex(self, vertex: Vertex) -> bool:
+        if vertex.round <= 1:
+            return True
+        prev = vertex.round - 1
+        prev_leader = self.schedule.leader(prev)
+        if any(ref.source == prev_leader for ref in vertex.strong_edges):
+            return True
+        nvc = vertex.nvc
+        if not isinstance(nvc, NoVoteCertificate) or nvc.round != prev:
+            return False
+        if not self.params.verify_signatures:
+            return len(nvc.signers) >= self.cfg.quorum
+        return (
+            nvc.cert.message_digest == no_vote_statement(prev)
+            and verify_certificate(self.pki, nvc.cert, self.cfg.quorum)
+        )
+
+    def _leader_nvc(
+        self, round_: Round, strong: tuple[VertexRef, ...]
+    ) -> NoVoteCertificate | None:
+        """The NVC a leader must embed when skipping the previous leader."""
+        if round_ < 2 or self.schedule.leader(round_) != self.node_id:
+            return None
+        prev = round_ - 1
+        prev_leader = self.schedule.leader(prev)
+        if any(ref.source == prev_leader for ref in strong):
+            return None
+        sigs = list(self.no_votes[prev].values())
+        if len(sigs) < self.cfg.quorum:
+            raise ConsensusError(
+                f"leader {self.node_id} lacks NVC for round {prev}"
+            )
+        return NoVoteCertificate(prev, build_certificate(sigs[: self.cfg.quorum]))
+
+    # -- message handling -----------------------------------------------------------
+
+    def _on_message(self, src: NodeId, msg: object) -> None:
+        if self.rbc.on_message(src, msg):
+            return
+        if isinstance(msg, NoVoteMsg):
+            self._on_no_vote(src, msg)
+
+    def _on_no_vote(self, src: NodeId, msg: NoVoteMsg) -> None:
+        if msg.signature.signer != src:
+            return
+        if self.params.verify_signatures:
+            if msg.signature.message_digest != no_vote_statement(msg.round):
+                return
+            if not self.pki.verify(msg.signature):
+                return
+        self.no_votes[msg.round][src] = msg.signature
+        self._try_advance()
+
+    # -- voting and commit -------------------------------------------------------------
+
+    def _on_first_val(self, vertex: Vertex) -> None:
+        """Count Sailfish votes from the first dissemination message."""
+        self._count_vote(vertex)
+
+    def _count_vote(self, vertex: Vertex) -> None:
+        prev = vertex.round - 1
+        if prev < 1:
+            return
+        leader = self.schedule.leader(prev)
+        if any(ref.source == leader and ref.round == prev for ref in vertex.strong_edges):
+            voters = self.votes[prev]
+            if vertex.source not in voters:
+                voters.add(vertex.source)
+                if len(voters) >= self.cfg.quorum:
+                    self._try_commit(prev)
+
+    def _on_vertex_delivered(self, vertex: Vertex) -> None:
+        attached = self.store.add(vertex)
+        for v in attached:
+            self._count_vote(v)
+            if v.round >= 1 and self.schedule.leader(v.round) == v.source:
+                # A leader vertex arriving can complete a pending commit.
+                if len(self.votes[v.round]) >= self.cfg.quorum:
+                    self._try_commit(v.round)
+        self._try_advance()
+
+    def _try_commit(self, round_: Round) -> None:
+        if round_ <= self.last_committed_round:
+            return
+        leader = self.schedule.leader(round_)
+        leader_vertex = self.store.get(round_, leader)
+        if leader_vertex is None:
+            return  # commit completes when the leader vertex attaches
+        if not self._leader_vertex_valid(round_):
+            return
+        if len(self.votes[round_]) < self.cfg.quorum:
+            return
+        self._commit_chain(leader_vertex)
+
+    def _commit_chain(self, anchor: Vertex) -> None:
+        """Direct-commit ``anchor``; indirect-commit reachable skipped leaders."""
+        chain = [anchor]
+        current = anchor
+        for round_ in range(anchor.round - 1, self.last_committed_round, -1):
+            candidate = self.store.get(round_, self.schedule.leader(round_))
+            if (
+                candidate is not None
+                and self._leader_vertex_valid(round_)
+                and self.store.strong_path_exists(current, candidate)
+            ):
+                chain.append(candidate)
+                current = candidate
+        now = self.sim.now
+        for leader_vertex in reversed(chain):
+            newly = self.ordering.order_leader(leader_vertex)
+            self.committed_leaders.append(leader_vertex)
+            for vertex in newly:
+                self.ordered_log.append((vertex, now))
+                if self.on_ordered is not None:
+                    self.on_ordered(self, vertex, now)
+        self.last_committed_round = anchor.round
+
+    # -- round advancement ----------------------------------------------------------------
+
+    def _on_timeout(self) -> None:
+        round_ = self.round
+        self.timeout_fired.add(round_)
+        if not self._leader_vertex_valid(round_) and round_ not in self.no_voted:
+            # No usable leader vertex (missing or invalid): complain.
+            self.no_voted.add(round_)
+            signature = self.pki.key(self.node_id).sign(no_vote_statement(round_))
+            self.network.broadcast(self.node_id, NoVoteMsg(round_, signature))
+        self._try_advance()
+
+    def _try_advance(self) -> None:
+        if not self.started:
+            return
+        round_ = self.round
+        if self.params.max_rounds and round_ >= self.params.max_rounds:
+            return
+        delivered = self.store.round_vertices(round_)
+        leader = self.schedule.leader(round_)
+        next_round = round_ + 1
+        i_lead_next = self.schedule.leader(next_round) == self.node_id
+        have_leader = any(v.source == leader for v in delivered)
+        leader_usable = have_leader and self._leader_vertex_valid(round_)
+        if leader_usable and round_ in self.no_voted and not i_lead_next:
+            leader_usable = False  # no-vote promise: we will not reference it
+        usable = len(delivered)
+        if have_leader and not leader_usable:
+            usable -= 1  # our next vertex will not reference the leader
+        if usable < self.cfg.quorum:
+            return
+        if not leader_usable and round_ not in self.timeout_fired:
+            return  # wait for the (valid) leader vertex or the timeout
+        if i_lead_next and not leader_usable:
+            if len(self.no_votes[round_]) < self.cfg.quorum:
+                return  # the next leader needs the leader edge or an NVC
+        self._timer.cancel()
+        self._enter_round(next_round)
+
+    # -- block handling ------------------------------------------------------------------
+
+    def _on_block_delivered(self, block: Block) -> None:
+        self.blocks[block.payload_digest()] = block
+        if self.on_block_ready is not None:
+            self.on_block_ready(self, block)
+
+    # -- inspection --------------------------------------------------------------------
+
+    @property
+    def ordered_vertices(self) -> list[Vertex]:
+        return [v for v, _ in self.ordered_log]
+
+    def ordered_keys(self) -> list[tuple[Round, NodeId]]:
+        return [v.key for v, _ in self.ordered_log]

@@ -1,0 +1,41 @@
+"""Protocol parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Tunables of the consensus protocol.
+
+    Args:
+        rbc_mode: ``"two-round"`` (signed ECHOs + certificates, as in the
+            paper's evaluation) or ``"bracha"`` (signature-free, 3 rounds).
+        leader_timeout: seconds a node waits for the round leader's vertex
+            before multicasting a no-vote.
+        verify_signatures: verify every signature structurally.  Disabling
+            this is a benchmark-only shortcut for all-honest runs; the CPU
+            cost model still charges verification time in simulated time.
+        retry_timeout: initial retry interval for block/vertex pulls.
+        max_rounds: stop proposing after this round (0 = unlimited); the
+            benchmark harness uses it to bound runs.
+    """
+
+    rbc_mode: str = "two-round"
+    leader_timeout: float = 1.5
+    verify_signatures: bool = True
+    retry_timeout: float = 0.25
+    max_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rbc_mode not in ("two-round", "bracha"):
+            raise ConfigError(f"unknown rbc_mode {self.rbc_mode!r}")
+        if self.leader_timeout <= 0:
+            raise ConfigError("leader_timeout must be positive")
+        if self.retry_timeout <= 0:
+            raise ConfigError("retry_timeout must be positive")
+        if self.max_rounds < 0:
+            raise ConfigError("max_rounds cannot be negative")

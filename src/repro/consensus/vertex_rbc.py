@@ -1,0 +1,467 @@
+"""Merged vertex+block reliable broadcast (§5).
+
+One RBC instance per (proposer, round) carries the vertex to the whole tribe
+and the block only to the proposer's clan:
+
+* VAL to a clan member of the proposer's clan = vertex + block; VAL to
+  everyone else = vertex alone (it embeds the block digest).
+* A clan member ECHOes only after holding *both* vertex and block; everyone
+  else after holding the vertex.
+* Completion needs 2f+1 ECHOes and — when the vertex carries a block —
+  at least f_c+1 of them from the proposer's clan, so an honest clan member
+  provably holds the block.
+* Vertex delivery never waits for the block: consensus progresses and commits
+  on vertices; missing blocks are pulled off the critical path and delivered
+  to clan members when they arrive.
+
+Two completion modes mirror the two tribe-assisted RBC constructions:
+``"two-round"`` (signed ECHOes aggregated into a multicast certificate,
+Fig. 3) and ``"bracha"`` (unsigned ECHO/READY phases, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..committees.config import ClanConfig
+from ..crypto.certificates import build_certificate, verify_certificate
+from ..crypto.evidence import EvidencePool
+from ..crypto.signatures import Pki
+from ..dag.block import Block
+from ..dag.vertex import Vertex
+from ..errors import ConsensusError
+from ..net.network import Network
+from ..rbc.messages import PayloadRequest, PayloadResponse
+from ..rbc.retrieval import Responder, Retriever
+from ..sim.scheduler import Simulator
+from ..types import NodeId, Round
+from .messages import (
+    VertexCertMsg,
+    VertexEchoMsg,
+    VertexReadyMsg,
+    VertexValMsg,
+    vertex_echo_statement,
+    vertex_val_statement,
+)
+
+Key = tuple[NodeId, Round]
+
+
+@dataclass
+class VertexInstance:
+    """Per-(proposer, round) dissemination state."""
+
+    vertex: Vertex | None = None
+    block: Block | None = None
+    first_digest: bytes | None = None
+    echoed: bool = False
+    ready_digest: bytes | None = None
+    cert_sent: bool = False
+    vertex_delivered: bool = False
+    block_delivered: bool = False
+    quorum_digest: bytes | None = None
+    #: The clan whose ECHOes gate this instance (None: no clan condition).
+    clan: frozenset[NodeId] | None = None
+    echoes: dict[bytes, set[NodeId]] = field(default_factory=dict)
+    #: Incremental clan-supporter tallies per digest (hot-path counter).
+    clan_echo_counts: dict[bytes, int] = field(default_factory=dict)
+    echo_sigs: dict[bytes, dict[NodeId, object]] = field(default_factory=dict)
+    readies: dict[bytes, set[NodeId]] = field(default_factory=dict)
+    conflicting: set[bytes] = field(default_factory=set)
+
+
+class VertexRbc:
+    """Per-node merged dissemination module.
+
+    Callbacks:
+        on_first_val(vertex): the first time this node learns the vertex
+            content (VAL arrival or pull) — drives Sailfish's 1-RBC+1δ votes.
+        on_vertex(vertex): RBC delivery of the vertex (non-equivocation +
+            eventual delivery certified).
+        on_block(block): the block is available locally *and* its vertex has
+            been delivered; fired only on members of the proposer's clan.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clan_cfg: ClanConfig,
+        network: Network,
+        sim: Simulator,
+        pki: Pki,
+        on_first_val: Callable[[Vertex], None],
+        on_vertex: Callable[[Vertex], None],
+        on_block: Callable[[Block], None],
+        mode: str = "two-round",
+        verify_signatures: bool = True,
+        retry_timeout: float = 0.25,
+        schedule=None,
+    ) -> None:
+        if mode not in ("two-round", "bracha"):
+            raise ConsensusError(f"unknown RBC mode {mode!r}")
+        self.node_id = node_id
+        self.cfg = clan_cfg
+        #: Round -> ClanConfig (epoch rotation); static wrapper by default.
+        if schedule is None:
+            from ..committees.rotation import StaticSchedule
+
+            schedule = StaticSchedule(clan_cfg)
+        self.schedule = schedule
+        self.network = network
+        self.sim = sim
+        self.pki = pki
+        self._key = pki.key(node_id)
+        self.on_first_val = on_first_val
+        self.on_vertex = on_vertex
+        self.on_block = on_block
+        self.mode = mode
+        self.verify = verify_signatures
+        self.instances: dict[Key, VertexInstance] = {}
+        self._quorum = clan_cfg.quorum
+        self._amplify = clan_cfg.f + 1
+        self._block_retriever = Retriever(
+            node_id, network, sim, self._on_pulled_block, retry_timeout, channel="block"
+        )
+        self._block_responder = Responder(
+            node_id, network, self._lookup_block, channel="block"
+        )
+        self._vertex_retriever = Retriever(
+            node_id, network, sim, self._on_pulled_vertex, retry_timeout, channel="vertex"
+        )
+        self._vertex_responder = Responder(
+            node_id, network, self._lookup_vertex, channel="vertex"
+        )
+        #: Accountability: transferable equivocation proofs from signed VALs.
+        self.evidence = EvidencePool()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def instance(self, origin: NodeId, round_: Round) -> VertexInstance:
+        key = (origin, round_)
+        state = self.instances.get(key)
+        if state is None:
+            state = self.instances[key] = VertexInstance()
+            # The clan condition is conservative: it applies whenever the
+            # origin *may* attach a block (checked without the vertex, which
+            # may not have arrived yet).  f_c+1 honest clan ECHOes always
+            # arrive for block-less vertices too, so this never blocks.
+            cfg = self.schedule.cfg_at(round_)
+            if cfg.is_block_proposer(origin):
+                state.clan = cfg.clan(cfg.block_clan_of(origin))
+        return state
+
+    def _serves_block(self, origin: NodeId, round_: Round) -> bool:
+        """Is this node in the proposer's clan (receives/executes its blocks)?"""
+        cfg = self.schedule.cfg_at(round_)
+        idx = cfg.clan_index_of(origin)
+        return idx is not None and idx == cfg.clan_index_of(self.node_id)
+
+    # -- sending -----------------------------------------------------------------
+
+    def broadcast(self, vertex: Vertex, block: Block | None) -> None:
+        """Disseminate this node's vertex (and block, if it proposes blocks)."""
+        if vertex.source != self.node_id:
+            raise ConsensusError("can only broadcast own vertices")
+        if (block is None) != (vertex.block_digest is None):
+            raise ConsensusError("vertex.block_digest must match block presence")
+        if block is not None and block.payload_digest() != vertex.block_digest:
+            raise ConsensusError("vertex.block_digest does not match block")
+        vdigest = vertex.vertex_digest()
+        signature = None
+        if self.mode == "two-round":
+            signature = self._key.sign(
+                vertex_val_statement(self.node_id, vertex.round, vdigest)
+            )
+        if block is None:
+            self.network.broadcast(self.node_id, VertexValMsg(vertex, None, signature))
+            return
+        cfg = self.schedule.cfg_at(vertex.round)
+        clan = cfg.clan(cfg.block_clan_of(self.node_id))
+        with_block = VertexValMsg(vertex, block, signature)
+        without_block = VertexValMsg(vertex, None, signature)
+        in_clan = [p for p in range(self.cfg.n) if p in clan]
+        outside = [p for p in range(self.cfg.n) if p not in clan]
+        self.network.multicast(self.node_id, in_clan, with_block)
+        if outside:
+            self.network.multicast(self.node_id, outside, without_block)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def on_message(self, src: NodeId, msg: object) -> bool:
+        """Dispatch a network message; returns False if it isn't ours.
+
+        ECHO and CERT dominate traffic (n² per round), so they are tested
+        first.
+        """
+        if isinstance(msg, VertexEchoMsg):
+            self._on_echo(src, msg)
+        elif isinstance(msg, VertexCertMsg):
+            self._on_cert(src, msg)
+        elif isinstance(msg, VertexValMsg):
+            self._on_val(src, msg)
+        elif isinstance(msg, VertexReadyMsg):
+            self._on_ready(src, msg)
+        elif isinstance(msg, PayloadRequest):
+            self._block_responder.on_request(src, msg)
+            self._vertex_responder.on_request(src, msg)
+        elif isinstance(msg, PayloadResponse):
+            self._block_retriever.on_response(src, msg)
+            self._vertex_retriever.on_response(src, msg)
+        else:
+            return False
+        return True
+
+    def _on_val(self, src: NodeId, msg: VertexValMsg) -> None:
+        vertex = msg.vertex
+        origin = vertex.source
+        if src != origin:
+            return  # authenticated channels
+        if vertex.round < 1:
+            return
+        if vertex.block_digest is not None and not self.schedule.cfg_at(
+            vertex.round
+        ).is_block_proposer(origin):
+            return  # §5: only clan members may propose blocks
+        vdigest = vertex.vertex_digest()
+        if self.mode == "two-round":
+            if msg.signature is None:
+                return
+            if self.verify:
+                if msg.signature.signer != origin or not self.pki.verify(msg.signature):
+                    return
+                expected = vertex_val_statement(origin, vertex.round, vdigest)
+                if msg.signature.message_digest != expected:
+                    return
+        state = self.instance(origin, vertex.round)
+        if self.mode == "two-round" and msg.signature is not None:
+            # Signed VALs are accountability material: two conflicting ones
+            # from the same (origin, round) yield a transferable fraud proof.
+            self.evidence.record(origin, vertex.round, vdigest, msg.signature)
+        if state.first_digest is None:
+            state.first_digest = vdigest
+            state.vertex = vertex
+            self.on_first_val(vertex)
+        elif state.first_digest != vdigest:
+            state.conflicting.add(vdigest)
+            return
+        if msg.block is not None and state.block is None:
+            block = msg.block
+            if (
+                block.proposer == origin
+                and block.round == vertex.round
+                and vertex.block_digest is not None
+                and block.payload_digest() == vertex.block_digest
+            ):
+                state.block = block
+        self._maybe_echo(origin, vertex.round, state)
+        self._maybe_finish(origin, vertex.round, state)
+
+    def _maybe_echo(self, origin: NodeId, round_: Round, state: VertexInstance) -> None:
+        if state.echoed or state.vertex is None:
+            return
+        needs_block = (
+            state.vertex.block_digest is not None
+            and self._serves_block(origin, round_)
+        )
+        if needs_block and state.block is None:
+            return
+        state.echoed = True
+        vdigest = state.first_digest
+        signature = None
+        if self.mode == "two-round":
+            signature = self._key.sign(vertex_echo_statement(origin, round_, vdigest))
+        self.network.broadcast(
+            self.node_id, VertexEchoMsg(origin, round_, vdigest, signature)
+        )
+
+    def _on_echo(self, src: NodeId, msg: VertexEchoMsg) -> None:
+        if self.mode == "two-round":
+            if msg.signature is None or msg.signature.signer != src:
+                return
+            if self.verify:
+                expected = vertex_echo_statement(msg.origin, msg.round, msg.vertex_digest)
+                if msg.signature.message_digest != expected:
+                    return
+                if not self.pki.verify(msg.signature):
+                    return
+        state = self.instance(msg.origin, msg.round)
+        supporters = state.echoes.setdefault(msg.vertex_digest, set())
+        if src in supporters:
+            return
+        supporters.add(src)
+        if state.clan is not None and src in state.clan:
+            state.clan_echo_counts[msg.vertex_digest] = (
+                state.clan_echo_counts.get(msg.vertex_digest, 0) + 1
+            )
+        if self.mode == "two-round":
+            state.echo_sigs.setdefault(msg.vertex_digest, {})[src] = msg.signature
+            if state.cert_sent:
+                return  # tally maintained, but the quorum already acted
+        self._check_echo_quorum(msg.origin, msg.round, msg.vertex_digest, state)
+
+    def _echo_quorum_met(
+        self, origin: NodeId, state: VertexInstance, digest_: bytes
+    ) -> bool:
+        supporters = state.echoes.get(digest_)
+        if not supporters or len(supporters) < self._quorum:
+            return False
+        clan = state.clan
+        if clan is not None:
+            clan_quorum = (len(clan) + 1) // 2  # f_c + 1
+            if state.clan_echo_counts.get(digest_, 0) < clan_quorum:
+                return False
+        return True
+
+    def _check_echo_quorum(
+        self, origin: NodeId, round_: Round, digest_: bytes, state: VertexInstance
+    ) -> None:
+        if not self._echo_quorum_met(origin, state, digest_):
+            return
+        if self.mode == "two-round":
+            if state.cert_sent:
+                return
+            state.cert_sent = True
+            cert = build_certificate(list(state.echo_sigs[digest_].values()))
+            self.network.broadcast(
+                self.node_id, VertexCertMsg(origin, round_, digest_, cert, self.cfg.n)
+            )
+            self._complete(origin, round_, digest_, state)
+        else:
+            if state.ready_digest is None:
+                state.ready_digest = digest_
+                self.network.broadcast(
+                    self.node_id, VertexReadyMsg(origin, round_, digest_)
+                )
+            # §5 optimization: clan members can start the block download at
+            # ECHO-quorum time, before the READY quorum completes.
+            self._prefetch_block(origin, round_, digest_, state)
+
+    def _on_cert(self, src: NodeId, msg: VertexCertMsg) -> None:
+        state = self.instance(msg.origin, msg.round)
+        if state.quorum_digest is not None:
+            return
+        if self.verify:
+            clan = state.clan
+            clan_quorum = (len(clan) + 1) // 2 if clan is not None else 0
+            if not verify_certificate(
+                self.pki, msg.cert, self._quorum, clan, clan_quorum
+            ):
+                return
+            expected = vertex_echo_statement(msg.origin, msg.round, msg.vertex_digest)
+            if msg.cert.message_digest != expected:
+                return
+        if not state.cert_sent:
+            state.cert_sent = True
+            self.network.broadcast(self.node_id, msg)
+        self._complete(msg.origin, msg.round, msg.vertex_digest, state)
+
+    def _on_ready(self, src: NodeId, msg: VertexReadyMsg) -> None:
+        if self.mode != "bracha":
+            return
+        state = self.instance(msg.origin, msg.round)
+        supporters = state.readies.setdefault(msg.vertex_digest, set())
+        if src in supporters:
+            return
+        supporters.add(src)
+        count = len(supporters)
+        if count >= self._amplify and state.ready_digest is None:
+            state.ready_digest = msg.vertex_digest
+            self.network.broadcast(
+                self.node_id, VertexReadyMsg(msg.origin, msg.round, msg.vertex_digest)
+            )
+        if count >= self._quorum:
+            self._complete(msg.origin, msg.round, msg.vertex_digest, state)
+
+    # -- completion -----------------------------------------------------------------
+
+    def _complete(
+        self, origin: NodeId, round_: Round, digest_: bytes, state: VertexInstance
+    ) -> None:
+        """The RBC quorum certified ``digest_``: deliver vertex, then block."""
+        if state.quorum_digest is None:
+            state.quorum_digest = digest_
+        if state.vertex is None or state.vertex.vertex_digest() != digest_:
+            # VAL still in flight (or equivocation shadow): pull the vertex
+            # from any echoing party, off the critical path.
+            holders = [p for p in state.echoes.get(digest_, ()) if p != self.node_id]
+            if self.mode == "two-round" and not holders:
+                holders = [origin]
+            if holders:
+                self._vertex_retriever.fetch(origin, round_, digest_, holders)
+            return
+        self._maybe_finish(origin, round_, state)
+
+    def _maybe_finish(self, origin: NodeId, round_: Round, state: VertexInstance) -> None:
+        if state.quorum_digest is None or state.vertex is None:
+            return
+        if state.vertex.vertex_digest() != state.quorum_digest:
+            return
+        if not state.vertex_delivered:
+            state.vertex_delivered = True
+            self.on_vertex(state.vertex)
+        if state.vertex.block_digest is None or not self._serves_block(
+            origin, round_
+        ):
+            return
+        if state.block_delivered:
+            return
+        if state.block is not None:
+            state.block_delivered = True
+            self.on_block(state.block)
+        else:
+            self._prefetch_block(origin, round_, state.quorum_digest, state)
+
+    def _prefetch_block(
+        self, origin: NodeId, round_: Round, digest_: bytes, state: VertexInstance
+    ) -> None:
+        """Pull the missing block from echoing clan members."""
+        if state.block is not None or state.block_delivered:
+            return
+        if state.vertex is None or state.vertex.block_digest is None:
+            return
+        if not self._serves_block(origin, round_):
+            return
+        cfg = self.schedule.cfg_at(round_)
+        clan = cfg.clan(cfg.block_clan_of(origin))
+        holders = [
+            p
+            for p in state.echoes.get(digest_, ())
+            if p in clan and p != self.node_id
+        ]
+        if holders:
+            self._block_retriever.fetch(
+                origin, round_, state.vertex.block_digest, holders
+            )
+
+    def _on_pulled_block(self, origin: NodeId, round_: Round, block: Block) -> None:
+        state = self.instance(origin, round_)
+        if state.block is None:
+            state.block = block
+        self._maybe_echo(origin, round_, state)
+        self._maybe_finish(origin, round_, state)
+
+    def _on_pulled_vertex(self, origin: NodeId, round_: Round, vertex: Vertex) -> None:
+        state = self.instance(origin, round_)
+        vdigest = vertex.vertex_digest()
+        if state.vertex is None:
+            state.vertex = vertex
+            state.first_digest = vdigest
+            self.on_first_val(vertex)
+        elif (
+            state.quorum_digest == vdigest
+            and state.vertex.vertex_digest() != vdigest
+        ):
+            # Equivocating proposer: the quorum certified a different vertex
+            # than the VAL we saw first; the certified one is authoritative.
+            state.conflicting.add(state.vertex.vertex_digest())
+            state.vertex = vertex
+        self._maybe_finish(origin, round_, state)
+
+    def _lookup_block(self, origin: NodeId, round_: Round) -> Block | None:
+        state = self.instances.get((origin, round_))
+        return state.block if state else None
+
+    def _lookup_vertex(self, origin: NodeId, round_: Round) -> Vertex | None:
+        state = self.instances.get((origin, round_))
+        return state.vertex if state else None

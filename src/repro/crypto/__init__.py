@@ -1,0 +1,29 @@
+"""Cryptographic substrate: real hashing, simulated-but-unforgeable signatures.
+
+The simulation needs signatures that are (a) cheap enough to mint millions of
+times, (b) impossible for a simulated Byzantine party to forge, and (c)
+structurally realistic (bytes on the wire, aggregation, bitmaps).  We use
+keyed-MAC style tags over SHA-256: the :class:`~repro.crypto.signatures.Pki`
+holds every party's secret, signing computes ``SHA256(secret ‖ digest)``, and
+verification recomputes it.  A Byzantine node in the simulation can only forge
+a signature if it holds the victim's secret — which it never does.
+
+BLS-style multi-signatures (:mod:`repro.crypto.bls`) aggregate individual tags
+and carry a signer bitmap, matching the paper's wire-size accounting.
+"""
+
+from .bls import MultiSignature, aggregate
+from .certificates import QuorumCertificate
+from .hashing import digest, digest_hex
+from .signatures import KeyPair, Pki, Signature
+
+__all__ = [
+    "digest",
+    "digest_hex",
+    "KeyPair",
+    "Pki",
+    "Signature",
+    "MultiSignature",
+    "aggregate",
+    "QuorumCertificate",
+]

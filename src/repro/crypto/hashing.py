@@ -1,0 +1,27 @@
+"""Canonical hashing helpers (the paper's ``H(x)``, κ = 32 bytes)."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def digest(*parts: object) -> bytes:
+    """SHA-256 over the length-prefixed canonical encoding of ``parts``.
+
+    Length prefixing makes the encoding injective, so ``digest("ab", "c")``
+    and ``digest("a", "bc")`` differ.
+
+    >>> digest("ab", "c") != digest("a", "bc")
+    True
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        raw = part if isinstance(part, bytes) else repr(part).encode()
+        h.update(len(raw).to_bytes(8, "big"))
+        h.update(raw)
+    return h.digest()
+
+
+def digest_hex(*parts: object) -> str:
+    """Hex form of :func:`digest`, convenient for logs and dict keys."""
+    return digest(*parts).hex()

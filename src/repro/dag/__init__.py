@@ -1,0 +1,22 @@
+"""DAG data structures (paper Fig. 4) and ordering machinery.
+
+The vertex carries only the *digest* of its block of transactions — the
+paper's key structural change — so vertices stay small enough to replicate to
+the whole tribe while blocks are confined to a clan.
+"""
+
+from .block import Block
+from .ordering import OrderingEngine
+from .store import DagStore
+from .transaction import Transaction
+from .vertex import Vertex, VertexRef, genesis_vertex
+
+__all__ = [
+    "Transaction",
+    "Block",
+    "Vertex",
+    "VertexRef",
+    "genesis_vertex",
+    "DagStore",
+    "OrderingEngine",
+]

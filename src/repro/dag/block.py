@@ -1,0 +1,105 @@
+"""The block structure of Fig. 4: ``b.txn`` — a list of transactions.
+
+Blocks are the heavy payloads: at the paper's peak load a block holds 6000
+512-byte transactions (≈ 3 MB).  Benchmarks use *synthetic* blocks that carry
+only a transaction count (so a 150-node simulation does not allocate a
+million Transaction objects per round); tests and examples use concrete
+transactions.  Both kinds report identical wire sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..crypto.hashing import digest
+from ..errors import DagError
+from ..net import sizes
+from ..types import NodeId, Round
+from .transaction import Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """A block of transactions proposed by ``proposer`` in ``round``."""
+
+    proposer: NodeId
+    round: Round
+    txns: tuple[Transaction, ...] | None
+    txn_count: int
+    txn_size: int
+    created_at: float
+    #: Lazily computed digest cache (checked on every VAL validation).
+    _digest_cache: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.txn_count < 0:
+            raise DagError("transaction count cannot be negative")
+        if self.txns is not None and len(self.txns) != self.txn_count:
+            raise DagError(
+                f"txn_count {self.txn_count} != len(txns) {len(self.txns)}"
+            )
+
+    @staticmethod
+    def concrete(
+        proposer: NodeId, round_: Round, txns: list[Transaction], created_at: float
+    ) -> "Block":
+        """A block carrying real transactions (tests, examples, SMR)."""
+        txn_size = txns[0].size if txns else sizes.DEFAULT_TXN_SIZE
+        return Block(
+            proposer=proposer,
+            round=round_,
+            txns=tuple(txns),
+            txn_count=len(txns),
+            txn_size=txn_size,
+            created_at=created_at,
+        )
+
+    @staticmethod
+    def synthetic(
+        proposer: NodeId,
+        round_: Round,
+        txn_count: int,
+        created_at: float,
+        txn_size: int = sizes.DEFAULT_TXN_SIZE,
+    ) -> "Block":
+        """A counted-bytes block for benchmark workloads."""
+        return Block(
+            proposer=proposer,
+            round=round_,
+            txns=None,
+            txn_count=txn_count,
+            txn_size=txn_size,
+            created_at=created_at,
+        )
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.txns is None
+
+    def iter_txns(self) -> Iterator[Transaction]:
+        """Concrete transactions, in proposal order (empty for synthetic)."""
+        return iter(self.txns or ())
+
+    def payload_digest(self) -> bytes:
+        """Digest used as ``v.block_digest`` in the vertex (RBC payload id)."""
+        cached = self._digest_cache
+        if cached is not None:
+            return cached
+        if self.txns is not None:
+            value = digest(
+                b"block", self.proposer, self.round,
+                *[t.txn_digest() for t in self.txns],
+            )
+        else:
+            value = digest(
+                b"block", self.proposer, self.round, self.txn_count,
+                self.txn_size, self.created_at,
+            )
+        object.__setattr__(self, "_digest_cache", value)
+        return value
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + self.txn_count * self.txn_size

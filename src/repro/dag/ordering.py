@@ -1,0 +1,61 @@
+"""Deterministic total ordering from a committed-leader sequence.
+
+Commit rules live in the consensus layer; this engine implements the part
+every DAG protocol shares: once leaders are committed in round order, each
+leader's not-yet-ordered causal history is appended in a deterministic order
+(by round, then source).  Because honest parties agree on the DAG (RBC) and
+on the committed leader sequence (consensus safety), they produce identical
+total orders.
+"""
+
+from __future__ import annotations
+
+from ..errors import DagError
+from ..types import NodeId, Round
+from .store import DagStore
+from .vertex import Vertex
+
+Key = tuple[Round, NodeId]
+
+
+class OrderingEngine:
+    """Produces the ``a_deliver`` sequence of one party."""
+
+    def __init__(self, store: DagStore) -> None:
+        self.store = store
+        self.ordered: list[Vertex] = []
+        self._ordered_keys: set[Key] = set()
+        self._last_leader_round: Round = 0
+
+    @property
+    def last_leader_round(self) -> Round:
+        return self._last_leader_round
+
+    def order_leader(self, leader: Vertex) -> list[Vertex]:
+        """Order ``leader``'s causal history; returns the newly ordered suffix.
+
+        Leaders must be supplied in strictly increasing round order (the
+        consensus layer commits them that way).
+        """
+        if leader.round <= self._last_leader_round:
+            raise DagError(
+                f"leader round {leader.round} not after {self._last_leader_round}"
+            )
+        history = [
+            v
+            for v in self.store.causal_history(leader)
+            if v.key not in self._ordered_keys
+        ]
+        history.sort(key=lambda v: (v.round, v.source))
+        for vertex in history:
+            self._ordered_keys.add(vertex.key)
+        self.ordered.extend(history)
+        self._last_leader_round = leader.round
+        return history
+
+    def is_ordered(self, vertex: Vertex) -> bool:
+        return vertex.key in self._ordered_keys
+
+    @property
+    def count(self) -> int:
+        return len(self.ordered)

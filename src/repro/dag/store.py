@@ -1,0 +1,162 @@
+"""Per-node DAG storage with orphan buffering and path queries.
+
+Vertices arrive via RBC in arbitrary order; a vertex becomes *attached* only
+once all its parents are present (RBC agreement guarantees parents eventually
+arrive).  The store indexes vertices by ``(round, source)`` — unique per
+honest instance thanks to RBC non-equivocation — and answers the two queries
+consensus needs: strong-path reachability (commit rule) and causal history
+(total ordering).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from ..errors import DagError
+from ..types import GENESIS_ROUND, NodeId, Round
+from .vertex import Vertex, VertexRef, genesis_vertex
+
+Key = tuple[Round, NodeId]
+
+
+class DagStore:
+    """The local DAG of one party."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise DagError(f"need at least one party, got {n}")
+        self.n = n
+        self._vertices: dict[Key, Vertex] = {}
+        self._by_round: dict[Round, dict[NodeId, Vertex]] = defaultdict(dict)
+        self._pending: dict[Key, Vertex] = {}
+        #: Tips: attached vertices with no attached child yet — candidates for
+        #: weak edges when this node proposes (orphan coverage).
+        self._uncovered: dict[Key, Vertex] = {}
+        for source in range(n):
+            self._attach(genesis_vertex(source))
+
+    # -- insertion -----------------------------------------------------------
+
+    def add(self, vertex: Vertex) -> list[Vertex]:
+        """Insert a delivered vertex; returns all vertices newly *attached*.
+
+        If parents are missing, the vertex is buffered and attached (and
+        returned by a later ``add``) once they arrive.  Duplicate positions
+        are rejected — the RBC layer guarantees one vertex per (round, source).
+        """
+        key = vertex.key
+        if key in self._vertices:
+            existing = self._vertices[key]
+            if existing.vertex_digest() != vertex.vertex_digest():
+                raise DagError(f"conflicting vertices at {key}")
+            return []
+        if key in self._pending:
+            return []
+        if not self._parents_present(vertex):
+            self._pending[key] = vertex
+            return []
+        attached = [vertex]
+        self._attach(vertex)
+        # Attaching one vertex may unblock buffered descendants, recursively.
+        progress = True
+        while progress:
+            progress = False
+            for key, pending in list(self._pending.items()):
+                if self._parents_present(pending):
+                    del self._pending[key]
+                    self._attach(pending)
+                    attached.append(pending)
+                    progress = True
+        return attached
+
+    def _parents_present(self, vertex: Vertex) -> bool:
+        return all(ref.key in self._vertices for ref in vertex.parents())
+
+    def _attach(self, vertex: Vertex) -> None:
+        key = vertex.key
+        self._vertices[key] = vertex
+        self._by_round[vertex.round][vertex.source] = vertex
+        self._uncovered[key] = vertex
+        for ref in vertex.parents():
+            self._uncovered.pop(ref.key, None)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, round_: Round, source: NodeId) -> Vertex | None:
+        return self._vertices.get((round_, source))
+
+    def contains(self, ref: VertexRef) -> bool:
+        vertex = self._vertices.get(ref.key)
+        return vertex is not None and vertex.vertex_digest() == ref.digest
+
+    def contains_key(self, round_: Round, source: NodeId) -> bool:
+        return (round_, source) in self._vertices
+
+    def round_vertices(self, round_: Round) -> list[Vertex]:
+        return list(self._by_round.get(round_, {}).values())
+
+    def num_in_round(self, round_: Round) -> int:
+        return len(self._by_round.get(round_, {}))
+
+    def uncovered_before(self, round_: Round) -> list[Vertex]:
+        """Attached tips from rounds < ``round_`` (weak-edge candidates)."""
+        return [
+            v
+            for v in self._uncovered.values()
+            if GENESIS_ROUND < v.round < round_
+        ]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def size(self) -> int:
+        return len(self._vertices)
+
+    # -- graph queries -----------------------------------------------------------
+
+    def strong_path_exists(self, frm: Vertex, to: Vertex) -> bool:
+        """Is there a path from ``frm`` to ``to`` using only strong edges?"""
+        if to.round > frm.round:
+            return False
+        if frm.key == to.key:
+            return True
+        target_key = to.key
+        target_round = to.round
+        queue = deque([frm])
+        seen: set[Key] = {frm.key}
+        while queue:
+            vertex = queue.popleft()
+            for ref in vertex.strong_edges:
+                key = ref.key
+                if key == target_key:
+                    return True
+                if key in seen or ref.round <= target_round:
+                    continue
+                seen.add(key)
+                child = self._vertices.get(key)
+                if child is not None:
+                    queue.append(child)
+        return False
+
+    def causal_history(self, vertex: Vertex) -> list[Vertex]:
+        """All attached ancestors of ``vertex`` (strong and weak edges),
+        excluding genesis vertices, including ``vertex`` itself."""
+        result: list[Vertex] = []
+        stack = [vertex]
+        seen: set[Key] = {vertex.key}
+        while stack:
+            v = stack.pop()
+            if v.round > GENESIS_ROUND:
+                result.append(v)
+            for ref in v.parents():
+                key = ref.key
+                if key in seen or ref.round == GENESIS_ROUND:
+                    continue
+                seen.add(key)
+                parent = self._vertices.get(key)
+                if parent is None:
+                    raise DagError(f"attached vertex {v.key} missing parent {key}")
+                stack.append(parent)
+        return result

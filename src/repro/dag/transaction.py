@@ -1,0 +1,38 @@
+"""Transactions.
+
+Two flavours share one type:
+
+* **Concrete** transactions carry an operation the state machine executes
+  (used by tests, examples, and the SMR layer).
+* **Synthetic** transactions exist only as counted bytes inside a block
+  (used by benchmarks, where the paper also uses 512 random bytes each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.hashing import digest
+from ..net import sizes
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """A client transaction.
+
+    Args:
+        txn_id: unique identifier (client-assigned).
+        op: operation payload, e.g. ``("set", "key", "value")`` for the
+            key-value state machine, or ``None`` for synthetic load.
+        created_at: simulated creation time (latency measurements start here).
+        size: bytes this transaction occupies on the wire (paper: 512).
+    """
+
+    txn_id: str
+    op: tuple[Any, ...] | None = None
+    created_at: float = 0.0
+    size: int = sizes.DEFAULT_TXN_SIZE
+
+    def txn_digest(self) -> bytes:
+        return digest(b"txn", self.txn_id, self.op)

@@ -1,0 +1,116 @@
+"""The vertex structure of Fig. 4.
+
+A vertex carries the round, the proposer, the *digest* of its block, strong
+edges to ≥ 2f+1 vertices of the previous round, weak edges to older orphan
+vertices, and (for leader vertices after a failed round) a no-vote or timeout
+certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.hashing import digest
+from ..errors import DagError
+from ..net import sizes
+from ..types import GENESIS_ROUND, NodeId, Round
+
+
+@dataclass(frozen=True, slots=True)
+class VertexRef:
+    """A reference (edge target): round, source, and the vertex digest."""
+
+    round: Round
+    source: NodeId
+    digest: bytes
+
+    @property
+    def key(self) -> tuple[Round, NodeId]:
+        """Position key — unique per honest RBC instance (non-equivocation)."""
+        return (self.round, self.source)
+
+    def wire_size(self) -> int:
+        return sizes.VERTEX_REF_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Vertex:
+    """A DAG vertex (Fig. 4): metadata only; the block travels separately."""
+
+    round: Round
+    source: NodeId
+    block_digest: bytes | None
+    strong_edges: tuple[VertexRef, ...]
+    weak_edges: tuple[VertexRef, ...] = ()
+    nvc: Any | None = None  # no-vote certificate for round-1 (if any)
+    tc: Any | None = None  # timeout certificate for round-1 (if any)
+    #: Lazily computed digest cache (performance: digests are requested on
+    #: every ECHO-quorum check).  Not part of equality or repr.
+    _digest_cache: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.round < GENESIS_ROUND:
+            raise DagError(f"negative round {self.round}")
+        for ref in self.strong_edges:
+            if ref.round != self.round - 1:
+                raise DagError(
+                    f"strong edge to round {ref.round} from round {self.round}"
+                )
+        for ref in self.weak_edges:
+            if ref.round >= self.round - 1:
+                raise DagError(
+                    f"weak edge to round {ref.round} from round {self.round}"
+                )
+
+    def vertex_digest(self) -> bytes:
+        cached = self._digest_cache
+        if cached is not None:
+            return cached
+        value = digest(
+            b"vertex",
+            self.round,
+            self.source,
+            self.block_digest if self.block_digest is not None else b"",
+            *[e.digest for e in self.strong_edges],
+            *[e.digest for e in self.weak_edges],
+        )
+        object.__setattr__(self, "_digest_cache", value)
+        return value
+
+    def ref(self) -> VertexRef:
+        return VertexRef(self.round, self.source, self.vertex_digest())
+
+    @property
+    def key(self) -> tuple[Round, NodeId]:
+        return (self.round, self.source)
+
+    def parents(self) -> tuple[VertexRef, ...]:
+        return self.strong_edges + self.weak_edges
+
+    def wire_size(self) -> int:
+        size = sizes.HEADER_SIZE + sizes.HASH_SIZE  # header + block digest
+        size += (len(self.strong_edges) + len(self.weak_edges)) * sizes.VERTEX_REF_SIZE
+        if self.nvc is not None:
+            size += getattr(self.nvc, "wire_size", lambda: sizes.HASH_SIZE)()
+        if self.tc is not None:
+            size += getattr(self.tc, "wire_size", lambda: sizes.HASH_SIZE)()
+        return size
+
+    # RBC payload protocol --------------------------------------------------
+
+    def payload_digest(self) -> bytes:
+        return self.vertex_digest()
+
+
+def genesis_vertex(source: NodeId) -> Vertex:
+    """The synthetic round-0 vertex every node starts with for ``source``."""
+    return Vertex(
+        round=GENESIS_ROUND,
+        source=source,
+        block_digest=None,
+        strong_edges=(),
+        weak_edges=(),
+    )

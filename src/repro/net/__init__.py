@@ -1,0 +1,46 @@
+"""Simulated wide-area network substrate.
+
+Models the three effects that shape DAG-BFT performance in the paper's
+geo-distributed testbed:
+
+* **Propagation latency** — per-region one-way delays derived from the paper's
+  Table 1 GCP ping matrix (:mod:`repro.net.latency`).
+* **Bandwidth** — each node owns an outbound NIC that serializes messages at a
+  configurable rate; multicasting a 3 MB block to 149 peers occupies the NIC
+  for 149 transmission times.  This queueing effect is the throughput
+  bottleneck the paper attacks (:class:`~repro.net.network.Network`).
+* **Partial synchrony** — an adversary may inflate delays arbitrarily before
+  GST and up to Δ after it (:mod:`repro.net.adversary`).
+
+Message CPU costs (signature verification, DB lookups) are charged by an
+optional :class:`~repro.net.cpu.CpuModel`, reproducing the latency growth with
+``n`` reported in §7.
+"""
+
+from .adversary import DelayAdversary, PartialSynchronyAdversary
+from .cpu import CpuModel
+from .latency import (
+    GCP_REGIONS,
+    GCP_RTT_MS,
+    GeoLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+    round_robin_regions,
+)
+from .message import Message
+from .network import Network, NetworkStats
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "UniformLatencyModel",
+    "GeoLatencyModel",
+    "GCP_REGIONS",
+    "GCP_RTT_MS",
+    "round_robin_regions",
+    "DelayAdversary",
+    "PartialSynchronyAdversary",
+    "CpuModel",
+]

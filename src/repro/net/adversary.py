@@ -1,0 +1,71 @@
+"""Network adversaries for the partial-synchrony model (Dwork et al.).
+
+Before GST the adversary may delay any message arbitrarily; after GST every
+message must arrive within Δ of being sent.  The adversary only *adds* delay —
+reliable links never drop messages (the standard assumption the paper's RBC
+machinery relies on).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..net.message import Message
+from ..sim.rng import make_rng
+from ..types import NodeId
+
+
+class DelayAdversary:
+    """Base adversary: adds no delay.  Subclass and override :meth:`extra_delay`."""
+
+    def extra_delay(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> float:
+        """Extra delay (seconds) injected on top of the latency model."""
+        return 0.0
+
+
+class PartialSynchronyAdversary(DelayAdversary):
+    """Random adversarial delays before GST, none after.
+
+    Messages *sent* before GST receive a uniform extra delay in
+    ``[0, max_extra)``, but never arrive later than ``gst + delta`` — matching
+    the model where after GST all in-flight messages arrive within Δ.
+    """
+
+    def __init__(self, gst: float, max_extra: float, delta: float, seed: int = 0) -> None:
+        if gst < 0 or max_extra < 0 or delta <= 0:
+            raise ConfigError("gst/max_extra must be >= 0 and delta > 0")
+        self.gst = gst
+        self.max_extra = max_extra
+        self.delta = delta
+        self._rng = make_rng(seed, "partial-synchrony")
+
+    def extra_delay(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> float:
+        if now >= self.gst:
+            return 0.0
+        extra = self._rng.random() * self.max_extra
+        # After GST the message must be delivered within delta of max(send, GST).
+        latest = self.gst + self.delta
+        if now + extra > latest:
+            extra = latest - now
+        return extra
+
+
+class TargetedDelayAdversary(DelayAdversary):
+    """Delays traffic to/from selected victims by a fixed amount until ``until``.
+
+    Used in tests to starve specific parties (e.g. force the block-download
+    path of the tribe-assisted RBC or a leader timeout).
+    """
+
+    def __init__(self, victims: set[NodeId], extra: float, until: float = float("inf")) -> None:
+        if extra < 0:
+            raise ConfigError("extra delay must be non-negative")
+        self.victims = set(victims)
+        self.extra = extra
+        self.until = until
+
+    def extra_delay(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> float:
+        if now >= self.until:
+            return 0.0
+        if src in self.victims or dst in self.victims:
+            return self.extra
+        return 0.0

@@ -1,0 +1,26 @@
+"""Base message type for the simulated network.
+
+Concrete protocol messages subclass :class:`Message` and implement
+:meth:`Message.wire_size` so the NIC serializer can charge transmission time.
+"""
+
+from __future__ import annotations
+
+from ..net import sizes
+
+
+class Message:
+    """Base class for all simulated network messages.
+
+    Subclasses should set ``__slots__`` and override :meth:`wire_size`.
+    """
+
+    __slots__ = ()
+
+    def wire_size(self) -> int:
+        """Size of this message on the wire, in bytes."""
+        return sizes.HEADER_SIZE
+
+    def kind(self) -> str:
+        """Short human-readable tag, used in stats and logs."""
+        return type(self).__name__

@@ -1,0 +1,175 @@
+"""The simulated network: NIC serialization + propagation + CPU queueing.
+
+Delivery time of a message from ``src`` to ``dst``::
+
+    start    = max(now, nic_free_at[src])          # outbound FIFO queue
+    tx       = wire_size / bandwidth               # serialization
+    arrive   = start + tx + latency(src, dst) + adversarial_extra
+    handled  = max(arrive, cpu_free_at[dst]) + cpu_cost   # receive queue
+
+The outbound NIC queue is the effect the paper's clan technique exploits: a
+Sailfish proposer multicasting an ℓ-byte block to ``n-1`` peers holds its NIC
+for ``(n-1)·ℓ/B`` seconds, whereas a clan proposer holds it for only
+``(n_c-1)·ℓ/B``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+from ..errors import NetworkError
+from ..sim.scheduler import Simulator
+from ..types import NodeId
+from .adversary import DelayAdversary
+from .cpu import CpuModel
+from .latency import LatencyModel, UniformLatencyModel
+from .message import Message
+
+Handler = Callable[[NodeId, Message], None]
+
+
+class NetworkStats:
+    """Aggregate traffic counters, per node and per message kind."""
+
+    __slots__ = ("bytes_sent", "bytes_received", "messages_sent", "bytes_by_kind", "messages_by_kind")
+
+    def __init__(self, n: int) -> None:
+        self.bytes_sent = [0] * n
+        self.bytes_received = [0] * n
+        self.messages_sent = [0] * n
+        self.bytes_by_kind: dict[str, int] = defaultdict(int)
+        self.messages_by_kind: dict[str, int] = defaultdict(int)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_sent)
+
+
+class Network:
+    """Point-to-point simulated network connecting ``n`` registered nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        latency: LatencyModel | None = None,
+        bandwidth_bps: float | None = None,
+        adversary: DelayAdversary | None = None,
+        cpu: CpuModel | None = None,
+        track_kinds: bool = False,
+    ) -> None:
+        if n < 1:
+            raise NetworkError(f"network needs at least one node, got n={n}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.sim = sim
+        self.n = n
+        self.latency = latency if latency is not None else UniformLatencyModel(0.05)
+        # Convert bits/s to bytes/s once; None means infinite bandwidth.
+        self._bytes_per_sec = bandwidth_bps / 8.0 if bandwidth_bps else None
+        self.adversary = adversary if adversary is not None else DelayAdversary()
+        self.cpu = cpu
+        self.stats = NetworkStats(n)
+        self._track_kinds = track_kinds
+        self._handlers: list[Handler | None] = [None] * n
+        self._nic_free_at = [0.0] * n
+        self._cpu_free_at = [0.0] * n
+        self._crashed = [False] * n
+
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Register the message handler for ``node_id``."""
+        if not 0 <= node_id < self.n:
+            raise NetworkError(f"node id {node_id} out of range (n={self.n})")
+        self._handlers[node_id] = handler
+
+    def crash(self, node_id: NodeId) -> None:
+        """Crash a node: it stops sending and receiving from now on."""
+        self._crashed[node_id] = True
+
+    def recover(self, node_id: NodeId) -> None:
+        """Undo :meth:`crash` (used by churn experiments)."""
+        self._crashed[node_id] = False
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        return self._crashed[node_id]
+
+    def send(self, src: NodeId, dst: NodeId, msg: Message) -> None:
+        """Send one message; delivery is scheduled on the simulator."""
+        self._transmit(src, (dst,), msg)
+
+    def multicast(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
+        """Send ``msg`` to every destination; each copy occupies the NIC.
+
+        Matches the paper's practical-RBC assumption: the sender multicasts a
+        full copy to each recipient (no erasure coding), so NIC time scales
+        with the recipient count.
+        """
+        self._transmit(src, tuple(dsts), msg)
+
+    def broadcast(self, src: NodeId, msg: Message) -> None:
+        """Multicast to all nodes, including ``src`` itself (self-delivery)."""
+        self._transmit(src, range(self.n), msg)
+
+    def _transmit(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
+        if self._crashed[src]:
+            return
+        sim = self.sim
+        now = sim.now
+        size = msg.wire_size()
+        stats = self.stats
+        if self._track_kinds:
+            kind = msg.kind()
+        per_byte = self._bytes_per_sec
+        nic_free = self._nic_free_at[src]
+        clock = now if now > nic_free else nic_free
+        for dst in dsts:
+            if not 0 <= dst < self.n:
+                raise NetworkError(f"destination {dst} out of range (n={self.n})")
+            stats.bytes_sent[src] += size
+            stats.messages_sent[src] += 1
+            if self._track_kinds:
+                stats.bytes_by_kind[kind] += size
+                stats.messages_by_kind[kind] += 1
+            if dst == src:
+                # Loopback: no NIC or propagation cost, but still event-driven
+                # so ordering semantics match remote deliveries.
+                sim.post(now, self._deliver, (src, dst, msg, size))
+                continue
+            if per_byte is not None:
+                clock += size / per_byte
+            arrive = clock + self.latency.delay(src, dst)
+            arrive += self.adversary.extra_delay(src, dst, msg, now)
+            sim.post(arrive, self._deliver, (src, dst, msg, size))
+        self._nic_free_at[src] = clock
+
+    def _deliver(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        if self._crashed[dst]:
+            return
+        handler = self._handlers[dst]
+        if handler is None:
+            return
+        if self.cpu is not None:
+            cost = self.cpu.cost(msg)
+            if cost > 0.0:
+                now = self.sim.now
+                start = self._cpu_free_at[dst]
+                if start < now:
+                    start = now
+                done = start + cost
+                self._cpu_free_at[dst] = done
+                self.sim.post(done, self._handle, (src, dst, msg, size))
+                return
+        self._handle(src, dst, msg, size)
+
+    def _handle(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        if self._crashed[dst]:
+            return
+        self.stats.bytes_received[dst] += size
+        handler = self._handlers[dst]
+        if handler is not None:
+            handler(src, msg)

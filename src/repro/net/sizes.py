@@ -1,0 +1,37 @@
+"""Wire-size constants (bytes) shared by all message types.
+
+The paper's complexity analysis is parameterised by the security parameter κ
+(hash and signature size) and the transaction size ℓ/|txn|; these constants
+make message sizes concrete so the bandwidth model has real bytes to move.
+"""
+
+from __future__ import annotations
+
+#: Security parameter κ: digest size (SHA-256) in bytes.
+HASH_SIZE = 32
+
+#: Individual signature size (Ed25519-like) in bytes.
+SIGNATURE_SIZE = 64
+
+#: BLS aggregate signature size in bytes (one group element).
+BLS_SIGNATURE_SIZE = 48
+
+#: Fixed per-message framing overhead: type tag, sender, round, lengths.
+HEADER_SIZE = 40
+
+#: A vertex reference on the wire: (round, source, digest).
+VERTEX_REF_SIZE = 8 + 4 + HASH_SIZE
+
+#: Default transaction size used throughout the paper's evaluation (512 B).
+DEFAULT_TXN_SIZE = 512
+
+
+def bitmap_size(n: int) -> int:
+    """Size of an ``n``-party signer bitmap in bytes (paper §4: 'merely a bit
+    vector indicating who voted')."""
+    return (n + 7) // 8
+
+
+def multisig_size(n: int) -> int:
+    """Wire size of a BLS multi-signature over an ``n``-party committee."""
+    return BLS_SIGNATURE_SIZE + bitmap_size(n)

@@ -1,0 +1,34 @@
+"""Reliable broadcast protocols.
+
+Four protocols, all multiplexing instances keyed by ``(origin, round)`` over
+the simulated network:
+
+* :class:`~repro.rbc.bracha.BrachaRbc` — classic 3-round Bracha RBC
+  (payload to everyone); the primitive existing DAG BFT builds on.
+* :class:`~repro.rbc.two_round.TwoRoundRbc` — Abraham et al.'s good-case
+  2-round RBC with signed ECHOs and certificates (payload to everyone).
+* :class:`~repro.rbc.tribe_bracha.TribeBrachaRbc` — the paper's Fig. 2:
+  signature-free tribe-assisted RBC; payload only to the clan, digest to the
+  rest, READY requires 2f+1 ECHOs with ≥ f_c+1 from the clan.
+* :class:`~repro.rbc.tribe_two_round.TribeTwoRoundRbc` — the paper's Fig. 3:
+  2-round tribe-assisted RBC with signed ECHOs and an ``EC_r(m)`` certificate.
+
+Clan members that reach delivery without the payload pull it from clan
+members known to hold it (:mod:`repro.rbc.retrieval`), exactly as §3 allows.
+"""
+
+from .base import Delivery, Membership, RbcProtocol
+from .bracha import BrachaRbc
+from .tribe_bracha import TribeBrachaRbc
+from .tribe_two_round import TribeTwoRoundRbc
+from .two_round import TwoRoundRbc
+
+__all__ = [
+    "Delivery",
+    "Membership",
+    "RbcProtocol",
+    "BrachaRbc",
+    "TribeBrachaRbc",
+    "TwoRoundRbc",
+    "TribeTwoRoundRbc",
+]

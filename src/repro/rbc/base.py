@@ -1,0 +1,204 @@
+"""Shared machinery for the reliable-broadcast family.
+
+* :class:`Membership` — tribe/clan thresholds used by every protocol.
+* payload helpers — any payload is either ``bytes`` or an object exposing
+  ``wire_size()`` and ``payload_digest()`` (e.g. :class:`repro.dag.block.Block`).
+* :class:`RbcProtocol` — the per-node module: multiplexes instances keyed by
+  ``(origin, round)``, owns the network registration, and invokes the
+  delivery callback at most once per instance (Integrity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..committees.config import ClanConfig
+from ..crypto.hashing import digest
+from ..errors import BroadcastError
+from ..net.network import Network
+from ..types import NodeId, Round, clan_max_faults, max_faults, quorum_size
+
+#: Delivery callback: (origin, round, payload-or-None, digest, full).
+DeliverFn = Callable[["Delivery"], None]
+
+InstanceKey = tuple[NodeId, Round]
+
+
+def payload_wire_size(payload: Any) -> int:
+    """Wire size in bytes of an RBC payload."""
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    size_fn = getattr(payload, "wire_size", None)
+    if callable(size_fn):
+        return size_fn()
+    raise BroadcastError(f"payload {type(payload).__name__} has no wire size")
+
+
+def payload_digest(payload: Any) -> bytes:
+    """Canonical digest H(m) of an RBC payload."""
+    if isinstance(payload, (bytes, bytearray)):
+        return digest(bytes(payload))
+    digest_fn = getattr(payload, "payload_digest", None)
+    if callable(digest_fn):
+        return digest_fn()
+    raise BroadcastError(f"payload {type(payload).__name__} has no digest")
+
+
+@dataclass(frozen=True)
+class Membership:
+    """Tribe and clan thresholds for one RBC deployment.
+
+    ``clan`` is the set of parties that receive full payloads.  For standard
+    (non-tribe-assisted) RBC the clan is the whole tribe, which makes the
+    "≥ f_c+1 ECHOs from the clan" condition subsume into the plain 2f+1.
+    """
+
+    n: int
+    clan: frozenset[NodeId]
+
+    def __post_init__(self) -> None:
+        if not self.clan:
+            raise BroadcastError("clan must be non-empty")
+        if any(not 0 <= p < self.n for p in self.clan):
+            raise BroadcastError("clan member outside the tribe")
+
+    @property
+    def f(self) -> int:
+        return max_faults(self.n)
+
+    @property
+    def quorum(self) -> int:
+        """Tribe Byzantine quorum (2f+1 at n=3f+1; see types.quorum_size)."""
+        return quorum_size(self.n)
+
+    @property
+    def ready_amplify(self) -> int:
+        """READY amplification threshold f+1."""
+        return self.f + 1
+
+    @property
+    def clan_size(self) -> int:
+        return len(self.clan)
+
+    @property
+    def clan_quorum(self) -> int:
+        """ECHOs required from the clan: f_c + 1."""
+        return clan_max_faults(self.clan_size) + 1
+
+    @property
+    def all_parties(self) -> range:
+        return range(self.n)
+
+    @staticmethod
+    def whole_tribe(n: int) -> "Membership":
+        return Membership(n, frozenset(range(n)))
+
+    @staticmethod
+    def from_clan_config(cfg: ClanConfig, clan_idx: int) -> "Membership":
+        return Membership(cfg.n, cfg.clan(clan_idx))
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """The output of ``r_deliver`` at one party.
+
+    ``payload`` is the full message for clan members (``full=True``) and
+    ``None`` for parties outside the clan, which deliver only ``digest``
+    (= H(m)), per Definition 2.
+    """
+
+    origin: NodeId
+    round: Round
+    payload: Any | None
+    digest: bytes
+    full: bool
+
+
+@dataclass
+class InstanceState:
+    """Common per-(origin, round) instance state.
+
+    ECHO/READY tallies are per-digest: an equivocating sender may split the
+    network across digests, and quorum checks must never mix them.
+    """
+
+    val_digest: bytes | None = None
+    delivered: bool = False
+    delivered_digest: bytes | None = None
+    payload: Any | None = None
+    echoed: bool = False
+    ready_digest: bytes | None = None
+    cert_sent: bool = False
+    echoes: dict[bytes, set[NodeId]] = field(default_factory=dict)
+    readies: dict[bytes, set[NodeId]] = field(default_factory=dict)
+    #: Full payloads received (via VAL or pull), keyed by digest.
+    payloads: dict[bytes, Any] = field(default_factory=dict)
+    #: Signatures collected on ECHO statements, keyed by digest (signed modes).
+    echo_sigs: dict[bytes, dict[NodeId, Any]] = field(default_factory=dict)
+    # Equivocation bookkeeping: extra digests seen in conflicting VALs (tests
+    # and slashing logic read this; the protocol itself honours only the first).
+    conflicting: set[bytes] = field(default_factory=set)
+
+
+class RbcProtocol:
+    """Base per-node RBC module.
+
+    Subclasses implement :meth:`broadcast` and the message handlers, and share
+    instance management, delivery-once semantics, and statistics.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        membership: Membership,
+        network: Network,
+        on_deliver: DeliverFn,
+        register: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.membership = membership
+        self.network = network
+        self.on_deliver = on_deliver
+        self.instances: dict[InstanceKey, InstanceState] = {}
+        self.deliveries: list[Delivery] = []
+        if register:
+            network.register(node_id, self.on_message)
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def in_clan(self) -> bool:
+        return self.node_id in self.membership.clan
+
+    def instance(self, origin: NodeId, round_: Round) -> InstanceState:
+        key = (origin, round_)
+        state = self.instances.get(key)
+        if state is None:
+            state = self.instances[key] = InstanceState()
+        return state
+
+    def broadcast(self, payload: Any, round_: Round) -> None:
+        """``r_bcast``: disseminate ``payload`` as this node, in ``round_``."""
+        raise NotImplementedError
+
+    def on_message(self, src: NodeId, msg: Any) -> None:
+        """Network entry point; subclasses dispatch on message type."""
+        raise NotImplementedError
+
+    def _deliver(
+        self, origin: NodeId, round_: Round, state: InstanceState, digest_: bytes
+    ) -> None:
+        """Invoke r_deliver exactly once (Integrity)."""
+        if state.delivered:
+            return
+        state.delivered = True
+        state.delivered_digest = digest_
+        payload = state.payloads.get(digest_)
+        delivery = Delivery(origin, round_, payload, digest_, payload is not None)
+        self.deliveries.append(delivery)
+        self.on_deliver(delivery)
+
+    def delivered(self, origin: NodeId, round_: Round) -> bool:
+        state = self.instances.get((origin, round_))
+        return bool(state and state.delivered)

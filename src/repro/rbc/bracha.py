@@ -1,0 +1,38 @@
+"""Classic Bracha reliable broadcast.
+
+The special case of the tribe-assisted protocol (Fig. 2) where the clan is
+the whole tribe: every party receives the full payload, and the
+"f_c+1 from the clan" condition collapses into the plain 2f+1 ECHO quorum.
+This is the primitive existing DAG-based BFT SMR protocols build on, and the
+baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..types import NodeId
+from .base import DeliverFn, Membership
+from .tribe_bracha import TribeBrachaRbc
+
+
+class BrachaRbc(TribeBrachaRbc):
+    """Per-node classic Bracha RBC module over a tribe of ``n`` parties."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        n: int,
+        network: Network,
+        sim: Simulator,
+        on_deliver: DeliverFn,
+        register: bool = True,
+    ) -> None:
+        super().__init__(
+            node_id,
+            Membership.whole_tribe(n),
+            network,
+            sim,
+            on_deliver,
+            register=register,
+        )

@@ -1,0 +1,153 @@
+"""Payload retrieval ("download value m from parties in P_c").
+
+When a clan member reaches the delivery condition without having received the
+payload (possible under a Byzantine sender), it pulls the payload from clan
+members that provably hold it — any clan member that sent an ECHO claims to
+have received ``m`` (Fig. 2 step 2).  Requests go to one holder at a time
+with a retry timer; responders answer each requester at most once per
+instance (the paper's rate-limiting remark).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import BroadcastError
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..types import NodeId, Round
+from .base import InstanceKey, payload_digest
+from .messages import PayloadRequest, PayloadResponse
+
+
+class Retriever:
+    """Per-node pull client: fetches missing payloads from known holders."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        network: Network,
+        sim: Simulator,
+        on_payload: Callable[[NodeId, Round, Any], None],
+        retry_timeout: float = 0.5,
+        channel: str = "payload",
+    ) -> None:
+        if retry_timeout <= 0:
+            raise BroadcastError("retry timeout must be positive")
+        self.node_id = node_id
+        self.network = network
+        self.sim = sim
+        self.on_payload = on_payload
+        self.retry_timeout = retry_timeout
+        self.channel = channel
+        self._pending: dict[InstanceKey, dict] = {}
+
+    def fetch(
+        self,
+        origin: NodeId,
+        round_: Round,
+        digest: bytes,
+        holders: list[NodeId],
+    ) -> None:
+        """Start pulling payload for ``(origin, round_)`` from ``holders``.
+
+        Idempotent: a second call for the same instance refreshes the holder
+        list but does not restart an in-flight request.
+        """
+        key = (origin, round_)
+        state = self._pending.get(key)
+        if state is not None:
+            for holder in holders:
+                if holder not in state["holders"]:
+                    state["holders"].append(holder)
+            return
+        if not holders:
+            raise BroadcastError(f"no holders known for instance {key}")
+        state = {
+            "digest": digest,
+            "holders": list(holders),
+            "next": 0,
+            "timer": None,
+            "timeout": self.retry_timeout,
+        }
+        self._pending[key] = state
+        self._request(key)
+
+    def add_holder(self, origin: NodeId, round_: Round, holder: NodeId) -> None:
+        """Tell an in-flight fetch about another party that holds the payload."""
+        state = self._pending.get((origin, round_))
+        if state is not None and holder not in state["holders"]:
+            state["holders"].append(holder)
+
+    @property
+    def pending(self) -> set[InstanceKey]:
+        return set(self._pending)
+
+    def _request(self, key: InstanceKey) -> None:
+        state = self._pending.get(key)
+        if state is None:
+            return
+        holders = state["holders"]
+        target = holders[state["next"] % len(holders)]
+        state["next"] += 1
+        origin, round_ = key
+        self.network.send(
+            self.node_id,
+            target,
+            PayloadRequest(origin, round_, state["digest"], self.channel),
+        )
+        # Exponential backoff (capped): retries persist for eventual delivery
+        # without flooding the network when every holder is slow or faulty.
+        state["timer"] = self.sim.schedule(state["timeout"], self._request, key)
+        state["timeout"] = min(state["timeout"] * 1.5, 30.0)
+
+    def on_response(self, src: NodeId, msg: PayloadResponse) -> None:
+        """Handle a payload response; verifies the digest before accepting."""
+        if msg.channel != self.channel:
+            return
+        key = (msg.origin, msg.round)
+        state = self._pending.get(key)
+        if state is None:
+            return
+        if payload_digest(msg.payload) != state["digest"]:
+            return  # corrupted or adversarial response; keep retrying
+        if state["timer"] is not None:
+            state["timer"].cancel()
+        del self._pending[key]
+        self.on_payload(msg.origin, msg.round, msg.payload)
+
+
+class Responder:
+    """Per-node pull server with per-requester rate limiting."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        network: Network,
+        lookup: Callable[[NodeId, Round], Any | None],
+        max_responses_per_requester: int = 1,
+        channel: str = "payload",
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.lookup = lookup
+        self.max_responses = max_responses_per_requester
+        self.channel = channel
+        self._served: dict[tuple[InstanceKey, NodeId], int] = {}
+
+    def on_request(self, src: NodeId, msg: PayloadRequest) -> None:
+        if msg.channel != self.channel:
+            return
+        key = ((msg.origin, msg.round), src)
+        served = self._served.get(key, 0)
+        if served >= self.max_responses:
+            return  # rate-limited: Byzantine requesters cannot amplify traffic
+        payload = self.lookup(msg.origin, msg.round)
+        if payload is None:
+            return
+        self._served[key] = served + 1
+        self.network.send(
+            self.node_id,
+            src,
+            PayloadResponse(msg.origin, msg.round, msg.digest, payload, self.channel),
+        )

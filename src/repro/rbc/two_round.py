@@ -1,0 +1,40 @@
+"""Round-optimal (two-round) reliable broadcast of Abraham et al.
+
+The special case of the Fig. 3 tribe-assisted protocol where the clan is the
+whole tribe: every party receives the full payload and the certificate needs
+only the plain 2f+1 signed ECHOs.  This is the RBC the paper's Sailfish
+implementation uses for vertex propagation.
+"""
+
+from __future__ import annotations
+
+from ..crypto.signatures import Pki
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..types import NodeId
+from .base import DeliverFn, Membership
+from .tribe_two_round import TribeTwoRoundRbc
+
+
+class TwoRoundRbc(TribeTwoRoundRbc):
+    """Per-node round-optimal RBC module over a tribe of ``n`` parties."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        n: int,
+        network: Network,
+        sim: Simulator,
+        pki: Pki,
+        on_deliver: DeliverFn,
+        register: bool = True,
+    ) -> None:
+        super().__init__(
+            node_id,
+            Membership.whole_tribe(n),
+            network,
+            sim,
+            pki,
+            on_deliver,
+            register=register,
+        )

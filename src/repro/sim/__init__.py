@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation substrate.
+
+The simulator is the clock every other subsystem runs on: the network
+schedules message deliveries, protocol nodes schedule timers, and the
+benchmark harness advances simulated time until a run completes.
+
+Public API:
+
+* :class:`~repro.sim.scheduler.Simulator` — the event loop.
+* :class:`~repro.sim.timers.Timer` — restartable one-shot timer.
+* :func:`~repro.sim.rng.make_rng` — independent, named, seeded RNG streams.
+"""
+
+from .rng import make_rng, stream_seed
+from .scheduler import EventHandle, Simulator
+from .timers import Timer
+
+__all__ = ["Simulator", "EventHandle", "Timer", "make_rng", "stream_seed"]

@@ -1,0 +1,35 @@
+"""Named, independent random streams derived from one master seed.
+
+Every source of randomness in a simulation (clan election, latency jitter,
+workload generation, Byzantine behaviour) draws from its own stream so that
+changing how one component consumes randomness never perturbs another.  A
+stream is identified by the master seed plus any number of string/int labels;
+the stream seed is the SHA-256 of the labels, so streams are reproducible and
+statistically independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def stream_seed(master_seed: int, *labels: object) -> int:
+    """Derive a 64-bit sub-seed from ``master_seed`` and ``labels``.
+
+    >>> stream_seed(42, "latency") != stream_seed(42, "election")
+    True
+    >>> stream_seed(42, "latency") == stream_seed(42, "latency")
+    True
+    """
+    h = hashlib.sha256()
+    h.update(str(master_seed).encode())
+    for label in labels:
+        h.update(b"\x00")
+        h.update(str(label).encode())
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def make_rng(master_seed: int, *labels: object) -> random.Random:
+    """Create a :class:`random.Random` seeded for the named stream."""
+    return random.Random(stream_seed(master_seed, *labels))

@@ -1,0 +1,151 @@
+"""Deterministic discrete-event scheduler.
+
+Events are ``(time, seq, callback, args)`` entries in a binary heap.  The
+monotonically increasing sequence number breaks ties between events scheduled
+for the same instant, which makes every run fully deterministic: two runs with
+the same seeds schedule the same events in the same order.
+
+The hot path (``schedule`` + ``run``) is deliberately lean — benchmark runs
+push millions of message-delivery events through it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation.
+
+    Cancellation is O(1): the entry stays in the heap but its callback is
+    cleared, and the run loop skips it.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event fires (or would have fired)."""
+        return self._entry[0]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._entry[2] = None
+        self._entry[3] = ()
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    __slots__ = ("_now", "_queue", "_seq", "_stopped", "_processed")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[list] = []
+        self._seq = 0
+        self._stopped = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self._now}"
+            )
+        self._seq += 1
+        entry = [when, self._seq, fn, args]
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def post(self, when: float, fn: Callable[..., Any], args: tuple) -> None:
+        """Hot-path variant of :meth:`schedule_at`: no handle, no cancellation.
+
+        Used by the network for message deliveries (millions per run); the
+        EventHandle allocation of :meth:`schedule_at` is measurable there.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before current time t={self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, [when, self._seq, fn, args])
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event finishes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Args:
+            until: stop once simulated time would exceed this instant; the
+                clock is advanced to ``until`` exactly.  Events at ``until``
+                itself are executed.
+            max_events: safety valve — raise :class:`SimulationError` if more
+                than this many events execute (runaway-protocol guard).
+        """
+        self._stopped = False
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        while queue and not self._stopped:
+            if until is not None and queue[0][0] > until:
+                self._now = until
+                return
+            when, _seq, fn, args = pop(queue)
+            if fn is None:
+                continue
+            self._now = when
+            fn(*args)
+            executed += 1
+            self._processed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int | None = None) -> None:
+        """Run until no events remain (alias of ``run()`` with a guard)."""
+        self.run(until=None, max_events=max_events)

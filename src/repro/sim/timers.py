@@ -1,0 +1,64 @@
+"""Restartable one-shot timers on top of the simulator.
+
+Consensus nodes use these for round/leader timeouts: set when entering a
+round, cancelled when the leader vertex arrives, restarted on round change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .scheduler import EventHandle, Simulator
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and cancelled.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> t = Timer(sim, 2.0, lambda: fired.append(sim.now))
+    >>> t.start()
+    >>> sim.run()
+    >>> fired
+    [2.0]
+    """
+
+    __slots__ = ("_sim", "_duration", "_fn", "_args", "_handle")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        self._sim = sim
+        self._duration = duration
+        self._fn = fn
+        self._args = args
+        self._handle: EventHandle | None = None
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, duration: float | None = None) -> None:
+        """Start (or restart) the timer; a running instance is cancelled first."""
+        self.cancel()
+        if duration is not None:
+            self._duration = duration
+        self._handle = self._sim.schedule(self._duration, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the timer without firing.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._fn(*self._args)

@@ -1,0 +1,14 @@
+"""State machine replication layer: execution, mempool, clients.
+
+The paper's execution model (§1, §5): once vertices are totally ordered, only
+the members of the responsible clan execute the transactions and reply to the
+client; a client accepts a result once it has ``f_c + 1`` matching replies.
+"""
+
+from .client import Client
+from .executor import Executor
+from .mempool import Mempool, SyntheticWorkload
+from .runtime import SmrRuntime
+from .state_machine import KvStateMachine
+
+__all__ = ["KvStateMachine", "Executor", "Mempool", "SyntheticWorkload", "Client", "SmrRuntime"]

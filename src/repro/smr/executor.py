@@ -1,0 +1,97 @@
+"""Per-node transaction execution (§5: only clan members execute).
+
+The executor consumes the node's total order.  For each ordered vertex
+carrying a block digest it checks whether this node belongs to the proposer's
+clan; if so, the block's transactions are applied in order once the block
+body is available (block delivery can lag vertex ordering — the paper's
+"execution lags behind consensus").  Vertices whose blocks belong to other
+clans are skipped: that clan executes and answers its own clients.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..committees.config import ClanConfig
+from ..dag.block import Block
+from ..dag.vertex import Vertex
+from ..types import NodeId
+from .state_machine import KvStateMachine
+
+#: Response callback: (executing node, txn_id, result, executed_at).
+ResponseFn = Callable[[NodeId, str, Any, float], None]
+
+
+class Executor:
+    """Deterministic execution engine of one clan member."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clan_cfg: ClanConfig,
+        respond: ResponseFn | None = None,
+        machine: object | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.cfg = clan_cfg
+        self.respond = respond
+        #: Any object exposing ``apply_txn(txn)`` and ``state_digest()``.
+        self.machine = machine if machine is not None else KvStateMachine()
+        self._my_clan = clan_cfg.clan_index_of(node_id)
+        #: Ordered vertices whose blocks this node must execute, FIFO.
+        self._queue: deque[Vertex] = deque()
+        #: Blocks available locally, by digest.
+        self._blocks: dict[bytes, Block] = {}
+        self.executed_blocks = 0
+        self.executed_txns = 0
+        self.skipped_vertices = 0
+
+    @property
+    def executes_anything(self) -> bool:
+        return self._my_clan is not None
+
+    def on_ordered(self, vertex: Vertex, now: float) -> None:
+        """Feed one newly ordered vertex (call in total order)."""
+        if vertex.block_digest is None:
+            self.skipped_vertices += 1
+            return
+        proposer_clan = self.cfg.clan_index_of(vertex.source)
+        if self._my_clan is None or proposer_clan != self._my_clan:
+            self.skipped_vertices += 1
+            return
+        self._queue.append(vertex)
+        self._drain(now)
+
+    def on_block(self, block: Block, now: float) -> None:
+        """Feed a delivered block body."""
+        self._blocks[block.payload_digest()] = block
+        self._drain(now)
+
+    def _drain(self, now: float) -> None:
+        # Blocks must execute in total order: stop at the first gap.
+        while self._queue:
+            vertex = self._queue[0]
+            block = self._blocks.get(vertex.block_digest)
+            if block is None:
+                return
+            self._queue.popleft()
+            self._execute(block, now)
+
+    def _execute(self, block: Block, now: float) -> None:
+        self.executed_blocks += 1
+        if block.is_synthetic:
+            self.executed_txns += block.txn_count
+            return
+        for txn in block.iter_txns():
+            result = self.machine.apply_txn(txn)
+            self.executed_txns += 1
+            if self.respond is not None:
+                self.respond(self.node_id, txn.txn_id, result, now)
+
+    @property
+    def pending_blocks(self) -> int:
+        return len(self._queue)
+
+    def state_digest(self) -> bytes:
+        return self.machine.state_digest()

@@ -1,0 +1,82 @@
+"""Mempools: where proposers get the transactions for their blocks.
+
+Two implementations of the ``make_block(proposer, round, now)`` interface the
+consensus node expects:
+
+* :class:`Mempool` — a client-fed queue of concrete transactions (tests,
+  examples, the SMR layer).
+* :class:`SyntheticWorkload` — the paper's benchmark workload: every proposer
+  packs a configurable number of 512-byte transactions into each proposal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..dag.block import Block
+from ..dag.transaction import Transaction
+from ..errors import ConfigError
+from ..net import sizes
+from ..types import NodeId, Round
+
+
+class Mempool:
+    """A per-node FIFO of pending concrete transactions."""
+
+    def __init__(self, max_txns_per_block: int = 1000) -> None:
+        if max_txns_per_block < 1:
+            raise ConfigError("max_txns_per_block must be positive")
+        self.max_txns_per_block = max_txns_per_block
+        self._queue: deque[Transaction] = deque()
+
+    def submit(self, txn: Transaction) -> None:
+        self._queue.append(txn)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def make_block(self, proposer: NodeId, round_: Round, now: float) -> Block | None:
+        """Drain up to ``max_txns_per_block`` transactions into a block.
+
+        Returns ``None`` when the mempool is empty — the proposer then sends a
+        metadata-only vertex.
+        """
+        if not self._queue:
+            return None
+        txns = []
+        while self._queue and len(txns) < self.max_txns_per_block:
+            txns.append(self._queue.popleft())
+        return Block.concrete(proposer, round_, txns, created_at=now)
+
+
+class SyntheticWorkload:
+    """The paper's closed-loop workload: fixed transactions per proposal.
+
+    One instance is shared by all proposers; it also serves as the metrics
+    oracle — it remembers every block's size and creation time so throughput
+    and latency can be computed even on nodes that never see block bodies.
+    """
+
+    def __init__(
+        self,
+        txns_per_proposal: int,
+        txn_size: int = sizes.DEFAULT_TXN_SIZE,
+    ) -> None:
+        if txns_per_proposal < 0:
+            raise ConfigError("txns_per_proposal cannot be negative")
+        if txn_size < 1:
+            raise ConfigError("txn_size must be positive")
+        self.txns_per_proposal = txns_per_proposal
+        self.txn_size = txn_size
+        #: block digest -> (txn_count, created_at)
+        self.blocks: dict[bytes, tuple[int, float]] = {}
+
+    def make_block(self, proposer: NodeId, round_: Round, now: float) -> Block | None:
+        if self.txns_per_proposal == 0:
+            return None
+        block = Block.synthetic(
+            proposer, round_, self.txns_per_proposal, created_at=now,
+            txn_size=self.txn_size,
+        )
+        self.blocks[block.payload_digest()] = (block.txn_count, now)
+        return block

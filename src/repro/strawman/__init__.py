@@ -1,0 +1,21 @@
+"""The straw-man architecture the paper argues against (§1, §8).
+
+A *separate* data-availability layer: proposers disseminate blocks to a clan
+and collect a **proof of availability** (PoA, f_c+1 signed acks); PoAs are
+then ordered by a traditional leader-based BFT SMR (a Jolteon-style two-chain
+protocol, 5δ commit).  The pipeline is inherently sequential:
+
+    disseminate (1δ) + ack (1δ) + ship PoA to leader (1δ)
+    + queue (~1δ avg) + leader-SMR commit (5δ)  ≈ 8-9δ
+
+versus the paper's clan-based DAG protocols, which pipeline dissemination
+with consensus and commit leader vertices in 3δ.  The
+`bench_strawman_latency` benchmark measures exactly this gap — the paper's
+§8 comparison with Arete (8δ) and the §1 straw-man (6δ+).
+"""
+
+from .jolteon import JolteonNode, JolteonParams
+from .poa import PoA, PoaDisseminator
+from .system import StrawmanSystem
+
+__all__ = ["PoA", "PoaDisseminator", "JolteonNode", "JolteonParams", "StrawmanSystem"]

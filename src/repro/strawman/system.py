@@ -1,0 +1,136 @@
+"""The full straw-man system: PoA dissemination feeding the leader-based SMR.
+
+One object per deployment, mirroring :class:`repro.consensus.Deployment` so
+the latency benchmark can drive both architectures identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..committees.config import ClanConfig
+from ..crypto.signatures import Pki
+from ..dag.block import Block
+from ..errors import ConsensusError
+from ..net.latency import LatencyModel, UniformLatencyModel
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..types import NodeId, Round
+from .jolteon import JolteonNode, JolteonParams
+from .poa import PoA, PoaDisseminator
+
+MakeBlock = Callable[[NodeId, Round, float], Block | None]
+
+
+class _StrawmanReplica:
+    """One party: a PoA disseminator plus a Jolteon replica."""
+
+    def __init__(self, node_id, cfg, network, sim, pki, params, system):
+        self.node_id = node_id
+        self.system = system
+        self.jolteon = JolteonNode(
+            node_id, cfg.n, network, sim, pki, params,
+            on_commit=lambda proposal, now: system._on_commit(node_id, proposal, now),
+        )
+        self.poa = PoaDisseminator(
+            node_id, cfg, network, pki, on_poa=self._on_poa
+        )
+        self.network = network
+        network.register(node_id, self._on_message)
+
+    def _on_poa(self, poa: PoA) -> None:
+        # Ship the PoA to everyone so whichever leader is current can include
+        # it (the straw-man's extra hop).
+        self.network.broadcast(self.node_id, _PoaGossip(poa))
+
+    def _on_message(self, src, msg) -> None:
+        if isinstance(msg, _PoaGossip):
+            self.jolteon.submit(msg.poa)
+            return
+        if self.poa.on_message(src, msg):
+            return
+        self.jolteon.on_message(src, msg)
+
+
+from dataclasses import dataclass
+
+from ..net import sizes
+from ..net.message import Message
+
+
+@dataclass(slots=True)
+class _PoaGossip(Message):
+    poa: PoA
+
+    def wire_size(self) -> int:
+        return self.poa.wire_size() + sizes.HEADER_SIZE
+
+
+class StrawmanSystem:
+    """A runnable straw-man deployment."""
+
+    def __init__(
+        self,
+        cfg: ClanConfig,
+        latency: LatencyModel | None = None,
+        bandwidth_bps: float | None = None,
+        params: JolteonParams | None = None,
+        make_block: MakeBlock | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            cfg.n,
+            latency=latency if latency is not None else UniformLatencyModel(0.05),
+            bandwidth_bps=bandwidth_bps,
+        )
+        self.pki = Pki(cfg.n, seed=seed)
+        self.make_block = make_block
+        params = params if params is not None else JolteonParams()
+        self.replicas = [
+            _StrawmanReplica(i, cfg, self.network, self.sim, self.pki, params, self)
+            for i in range(cfg.n)
+        ]
+        #: (node, PoA, commit time) per replica commit event.
+        self.commit_log: dict[NodeId, list[tuple[PoA, float]]] = {
+            i: [] for i in range(cfg.n)
+        }
+        self._seen_commits: dict[NodeId, set[bytes]] = {}
+        self._round = 0
+
+    def _on_commit(self, node_id: NodeId, proposal, now: float) -> None:
+        seen = self._seen_commits.setdefault(node_id, set())
+        for poa in proposal.batch:
+            if poa.block_digest not in seen:
+                seen.add(poa.block_digest)
+                self.commit_log[node_id].append((poa, now))
+
+    def start(self) -> None:
+        for replica in self.replicas:
+            replica.jolteon.start()
+
+    def propose_blocks(self) -> None:
+        """Every block proposer disseminates one block right now."""
+        if self.make_block is None:
+            raise ConsensusError("no block factory configured")
+        self._round += 1
+        for proposer in sorted(self.cfg.block_proposers):
+            block = self.make_block(proposer, self._round, self.sim.now)
+            if block is not None:
+                self.replicas[proposer].poa.disseminate(block)
+
+    def run(self, until: float, max_events: int | None = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def committed_everywhere(self) -> dict[bytes, float]:
+        """block digest -> time committed by *all* replicas."""
+        needed = self.cfg.n
+        seen: dict[bytes, int] = {}
+        worst: dict[bytes, float] = {}
+        for node_id, entries in self.commit_log.items():
+            for poa, when in entries:
+                seen[poa.block_digest] = seen.get(poa.block_digest, 0) + 1
+                worst[poa.block_digest] = max(worst.get(poa.block_digest, 0.0), when)
+        return {d: worst[d] for d, count in seen.items() if count >= needed}

@@ -1,0 +1,115 @@
+"""Tests for run metrics, the experiment runner, and reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.bench.metrics import measure_run
+from repro.bench.reporting import format_table, write_csv
+from repro.bench.runner import ExperimentConfig, run_experiment, scaled
+from repro.committees import ClanConfig
+from repro.consensus import Deployment, ProtocolParams
+from repro.errors import ConfigError
+from repro.smr.mempool import SyntheticWorkload
+
+
+def small_run(protocol="sailfish", **overrides):
+    config = ExperimentConfig(
+        protocol=protocol,
+        n=7,
+        txns_per_proposal=20,
+        clan_size=4,
+        duration=4.0,
+        warmup=1.0,
+        bandwidth_bps=1e9,
+        **overrides,
+    )
+    return config, run_experiment(config)
+
+
+def test_runner_produces_metrics():
+    config, metrics = small_run()
+    assert metrics.committed_txns > 0
+    assert metrics.throughput_tps == pytest.approx(
+        metrics.committed_txns / metrics.window_s
+    )
+    assert 0 < metrics.avg_latency_s < 2.0
+    assert metrics.p50_latency_s <= metrics.p95_latency_s
+    assert metrics.rounds > 5
+    assert metrics.total_bytes > 0
+
+
+def test_runner_protocol_variants():
+    for protocol in ("sailfish", "single-clan", "multi-clan"):
+        _, metrics = small_run(protocol=protocol)
+        assert metrics.committed_txns > 0, protocol
+
+
+def test_runner_unknown_protocol():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(protocol="hotstuff", n=7, txns_per_proposal=1).clan_config()
+
+
+def test_runner_single_clan_requires_size():
+    cfg = ExperimentConfig(
+        protocol="single-clan", n=7, txns_per_proposal=1, clan_size=None
+    )
+    with pytest.raises(ConfigError):
+        cfg.clan_config()
+
+
+def test_measure_run_latency_accounts_creation_time():
+    """Latency must be measured from block creation, not from round start."""
+    workload = SyntheticWorkload(txns_per_proposal=10)
+    deployment = Deployment(
+        ClanConfig.baseline(4),
+        ProtocolParams(verify_signatures=False),
+        make_block=workload.make_block,
+    )
+    deployment.start()
+    deployment.run(until=3.0)
+    metrics = measure_run(deployment, workload, warmup=0.5, end=3.0)
+    # With 0.05s uniform latency, block commit latency sits in (0.1, 0.6).
+    assert 0.1 < metrics.avg_latency_s < 0.6
+
+
+def test_measure_run_rejects_empty_window():
+    workload = SyntheticWorkload(txns_per_proposal=1)
+    deployment = Deployment(ClanConfig.baseline(4), make_block=workload.make_block)
+    with pytest.raises(ConfigError):
+        measure_run(deployment, workload, warmup=2.0, end=2.0)
+
+
+def test_scaled_respects_minimum(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.1")
+    assert scaled(50, minimum=7) == 7
+    monkeypatch.setenv("REPRO_SCALE", "1.0")
+    assert scaled(50, minimum=7) == 50
+
+
+def test_format_table_alignment():
+    table = format_table(
+        [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}], title="T"
+    )
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="T")
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = str(tmp_path / "sub" / "rows.csv")
+    write_csv([{"x": 1, "y": "a"}, {"x": 2, "y": "b"}], path)
+    with open(path) as fh:
+        content = fh.read().splitlines()
+    assert content[0] == "x,y"
+    assert content[1] == "1,a"
+
+
+def test_write_csv_empty_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv([], str(tmp_path / "x.csv"))

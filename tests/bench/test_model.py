@@ -1,0 +1,85 @@
+"""Unit tests for the analytical performance model."""
+
+import pytest
+
+from repro.bench.model import AnalyticalModel, PAPER_LOADS
+from repro.errors import ConfigError
+
+
+def model(n=150, **kwargs):
+    return AnalyticalModel(n=n, **kwargs)
+
+
+def test_throughput_grows_then_saturates():
+    m = model()
+    points = m.curve("sailfish", PAPER_LOADS)
+    tputs = [p.throughput_tps for p in points]
+    # Non-decreasing up to the knee, then flat.
+    assert tputs == sorted(tputs)
+    assert tputs[-1] == pytest.approx(tputs[-2], rel=0.05)
+
+
+def test_latency_monotone_in_load():
+    m = model()
+    lats = [p.latency_s for p in m.curve("single-clan", PAPER_LOADS, clan_size=80)]
+    assert lats == sorted(lats)
+
+
+def test_latency_floor_grows_with_n():
+    floors = [model(n).evaluate("sailfish", 1).latency_s for n in (50, 100, 150)]
+    assert floors == sorted(floors)
+    assert floors[0] == pytest.approx(0.38, rel=0.35)   # paper §7 at n=50
+    assert floors[2] == pytest.approx(1.392, rel=0.25)  # paper §7 at n=150
+
+
+def test_single_clan_beats_sailfish_peak_at_every_scale():
+    for n, clan in ((50, 32), (100, 60), (150, 80)):
+        m = model(n)
+        sailfish = m.peak_stable_throughput("sailfish", PAPER_LOADS)
+        single = m.peak_stable_throughput("single-clan", PAPER_LOADS, clan_size=clan)
+        assert single > sailfish
+
+
+def test_multi_clan_roughly_doubles_single_clan():
+    m = model(150)
+    single = m.peak_stable_throughput("single-clan", PAPER_LOADS, clan_size=80)
+    multi = m.peak_stable_throughput("multi-clan", PAPER_LOADS, clans=2)
+    assert 1.7 <= multi / single <= 2.4
+
+
+def test_sailfish_goes_unstable_before_single_clan():
+    """Find the first unstable load for each protocol; Sailfish's is lower."""
+    m = model(150, stability_budget=1.2)
+    first_unstable = {}
+    for proto, kwargs in (("sailfish", {}), ("single-clan", {"clan_size": 80})):
+        for p in m.curve(proto, PAPER_LOADS, **kwargs):
+            if not p.stable:
+                first_unstable[proto] = p.txns_per_proposal
+                break
+    assert first_unstable["sailfish"] < first_unstable["single-clan"]
+
+
+def test_round_duration_floor_is_one_rbc():
+    m = model(50)
+    p = m.evaluate("sailfish", 1)
+    assert p.round_duration_s == pytest.approx(2 * m.delta_s)
+
+
+def test_zero_contention_equalizes_saturation():
+    """With γ=0 closed-loop saturation ≈ B/txn_size for committee == proposers
+    (the structural invariance EXPERIMENTS.md discusses)."""
+    m = model(150, flow_contention=0.0)
+    sailfish = m.peak_stable_throughput("sailfish", PAPER_LOADS)
+    single = m.peak_stable_throughput("single-clan", PAPER_LOADS, clan_size=80)
+    assert single == pytest.approx(sailfish, rel=0.05)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigError):
+        AnalyticalModel(n=2)
+    with pytest.raises(ConfigError):
+        AnalyticalModel(n=10, bandwidth_bps=0)
+    with pytest.raises(ConfigError):
+        model().evaluate("unknown", 100)
+    with pytest.raises(ConfigError):
+        model().evaluate("single-clan", 100)  # missing clan size

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plot rendering."""
+
+import pytest
+
+from repro.bench.plotting import ascii_plot, plot_load_throughput, plot_throughput_latency
+from repro.errors import ConfigError
+
+
+def test_basic_plot_contains_glyphs_and_axes():
+    out = ascii_plot(
+        {"sailfish": [(0, 1), (5, 2)], "single-clan": [(2, 1.5)]},
+        width=20, height=6, title="T",
+    )
+    assert out.startswith("T")
+    assert "s" in out and "c" in out
+    assert "s=sailfish" in out and "c=single-clan" in out
+    assert "+--" in out  # x axis
+
+
+def test_plot_scales_extremes_to_corners():
+    # Non-protocol series use numeric glyphs ("1" for the first series).
+    out = ascii_plot({"a": [(0, 0), (100, 10)]}, width=10, height=5)
+    lines = out.splitlines()
+    # Max-y point at top row; min-y at bottom row.
+    assert "1" in lines[0]
+    assert "1" in lines[4]
+    assert lines[0].strip().startswith("10")
+
+
+def test_plot_handles_single_point():
+    out = ascii_plot({"a": [(3, 3)]}, width=10, height=4)
+    assert "1" in out and "1=a" in out
+
+
+def test_plot_empty_series():
+    assert "(no data)" in ascii_plot({}, title="E")
+
+
+def test_plot_rejects_tiny_canvas():
+    with pytest.raises(ConfigError):
+        ascii_plot({"a": [(0, 0)]}, width=2, height=2)
+
+
+def test_throughput_latency_plot_from_rows():
+    rows = [
+        {"protocol": "sailfish", "throughput_ktps": 10, "avg_latency_s": 0.5},
+        {"protocol": "sailfish", "throughput_ktps": 50, "avg_latency_s": 1.5},
+        {"protocol": "single-clan", "throughput_ktps": 60, "avg_latency_s": 1.0},
+    ]
+    out = plot_throughput_latency(rows, title="fig5")
+    assert "fig5" in out and "throughput (kTPS)" in out
+
+
+def test_throughput_latency_plot_accepts_model_rows():
+    rows = [{"protocol": "multi-clan", "throughput_ktps": 200, "latency_s": 2.0}]
+    out = plot_throughput_latency(rows)
+    assert "m" in out
+
+
+def test_load_throughput_plot_from_rows():
+    rows = [
+        {"protocol": "multi-clan", "txns/proposal": 250, "throughput_ktps": 50},
+        {"protocol": "multi-clan", "txns/proposal": 1000, "throughput_ktps": 120},
+    ]
+    out = plot_load_throughput(rows, title="fig6")
+    assert "fig6" in out and "txns/proposal" in out

@@ -1,0 +1,133 @@
+"""Tests for clan election, partitioning, and ClanConfig."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.committees import ClanConfig, elect_clan, partition_clans
+from repro.errors import CommitteeError
+
+
+def test_elect_clan_size_and_range():
+    clan = elect_clan(50, 20, seed=3)
+    assert len(clan) == 20
+    assert all(0 <= p < 50 for p in clan)
+
+
+def test_elect_clan_deterministic_per_seed():
+    assert elect_clan(50, 20, seed=3) == elect_clan(50, 20, seed=3)
+    assert elect_clan(50, 20, seed=3) != elect_clan(50, 20, seed=4)
+
+
+def test_elect_clan_bad_size():
+    with pytest.raises(CommitteeError):
+        elect_clan(10, 0)
+    with pytest.raises(CommitteeError):
+        elect_clan(10, 11)
+
+
+def test_partition_covers_tribe_disjointly():
+    clans = partition_clans(10, 3, seed=1)
+    assert sorted(len(c) for c in clans) == [3, 3, 4]
+    union = set()
+    for clan in clans:
+        assert not (union & clan)
+        union |= clan
+    assert union == set(range(10))
+
+
+def test_partition_deterministic():
+    assert partition_clans(12, 4, seed=5) == partition_clans(12, 4, seed=5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    q=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_partition_properties(n, q, seed):
+    if q > n:
+        return
+    clans = partition_clans(n, q, seed)
+    assert len(clans) == q
+    assert sum(len(c) for c in clans) == n
+    assert max(len(c) for c in clans) - min(len(c) for c in clans) <= 1
+
+
+def test_baseline_config():
+    cfg = ClanConfig.baseline(7)
+    assert cfg.mode == "baseline"
+    assert cfg.num_clans == 1
+    assert cfg.clan(0) == frozenset(range(7))
+    assert cfg.block_proposers == frozenset(range(7))
+    assert cfg.f == 2 and cfg.quorum == 5
+    assert all(cfg.executes(p) for p in range(7))
+
+
+def test_single_clan_config():
+    cfg = ClanConfig.single_clan(20, 8, seed=2)
+    assert cfg.mode == "single-clan"
+    assert len(cfg.clan(0)) == 8
+    assert cfg.block_proposers == cfg.clan(0)
+    outside = next(p for p in range(20) if p not in cfg.clan(0))
+    assert cfg.clan_index_of(outside) is None
+    assert not cfg.executes(outside)
+    member = next(iter(cfg.clan(0)))
+    assert cfg.block_clan_of(member) == 0
+
+
+def test_multi_clan_config():
+    cfg = ClanConfig.multi_clan(12, 3, seed=2)
+    assert cfg.mode == "multi-clan"
+    assert cfg.num_clans == 3
+    assert cfg.block_proposers == frozenset(range(12))
+    for p in range(12):
+        idx = cfg.clan_index_of(p)
+        assert idx is not None
+        assert p in cfg.clan(idx)
+        assert cfg.block_clan_of(p) == idx
+
+
+def test_clan_quorums():
+    cfg = ClanConfig.single_clan(20, 9, seed=0)
+    assert cfg.clan_faults(0) == 4
+    assert cfg.clan_echo_quorum(0) == 5
+    assert cfg.clan_client_quorum(0) == 5
+
+
+def test_config_rejects_overlapping_clans():
+    with pytest.raises(CommitteeError):
+        ClanConfig(
+            n=6,
+            mode="multi-clan",
+            clans=(frozenset({0, 1, 2}), frozenset({2, 3, 4})),
+            block_proposers=frozenset({0}),
+        )
+
+
+def test_config_rejects_proposer_outside_clans():
+    with pytest.raises(CommitteeError):
+        ClanConfig(
+            n=6,
+            mode="single-clan",
+            clans=(frozenset({0, 1, 2}),),
+            block_proposers=frozenset({5}),
+        )
+
+
+def test_config_rejects_out_of_range_member():
+    with pytest.raises(CommitteeError):
+        ClanConfig(
+            n=4,
+            mode="baseline",
+            clans=(frozenset({0, 7}),),
+            block_proposers=frozenset({0}),
+        )
+
+
+def test_block_clan_of_outside_party_raises():
+    cfg = ClanConfig.single_clan(10, 4, seed=1)
+    outsider = next(p for p in range(10) if p not in cfg.clan(0))
+    with pytest.raises(CommitteeError):
+        cfg.block_clan_of(outsider)

@@ -1,0 +1,120 @@
+"""Tests for single-clan committee statistics (Eq. 1–2, Fig. 1, §1 example)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import hypergeom
+
+from repro.committees.hypergeometric import (
+    clan_size_curve,
+    dishonest_majority_prob,
+    min_clan_size,
+)
+from repro.errors import CommitteeError
+from repro.types import max_faults
+
+
+def test_paper_intro_example_n500():
+    # §1: n=500, f=166, n_c=184 gives a failure probability around 1e-9.
+    p = dishonest_majority_prob(500, 166, 184)
+    assert p < 3e-9
+    assert p > 1e-10
+
+
+def test_paper_section7_clan_sizes():
+    # §7 uses clans of 32/60/80 for n=50/100/150 at failure prob ~1e-6 (2^-20).
+    # Our exact minimal sizes land within 3 members of the paper's choices.
+    for n, paper_nc in ((50, 32), (100, 60), (150, 80)):
+        ours = min_clan_size(n, failure_prob=1e-6)
+        assert abs(ours - paper_nc) <= 3
+        # The paper's chosen 80 for n=150 must itself satisfy the bound.
+    assert dishonest_majority_prob(150, max_faults(150), 80) <= 1e-6
+
+
+def test_whole_tribe_clan_never_fails():
+    # f < n/3 implies the whole tribe always has an honest majority.
+    assert dishonest_majority_prob(100, 33, 100) == 0.0
+
+
+def test_all_byzantine_tribe_always_fails():
+    assert dishonest_majority_prob(10, 10, 5) == 1.0
+
+
+def test_zero_faults_never_fails():
+    assert dishonest_majority_prob(100, 0, 10) == 0.0
+
+
+def test_single_member_clan():
+    # A clan of one is dishonest-majority iff the sampled member is Byzantine.
+    p = dishonest_majority_prob(100, 25, 1)
+    assert p == pytest.approx(0.25)
+
+
+def test_matches_scipy_hypergeometric_tail():
+    n, f, n_c = 200, 66, 60
+    ours = dishonest_majority_prob(n, f, n_c)
+    threshold = (n_c + 1) // 2
+    scipy_tail = float(hypergeom(n, f, n_c).sf(threshold - 1))
+    assert ours == pytest.approx(scipy_tail, rel=1e-9)
+
+
+def test_monotone_in_faults():
+    probs = [dishonest_majority_prob(100, f, 30) for f in range(0, 34, 3)]
+    assert all(a <= b + 1e-15 for a, b in zip(probs, probs[1:]))
+
+
+def test_min_clan_size_meets_target():
+    n_c = min_clan_size(300, failure_prob=1e-9)
+    assert dishonest_majority_prob(300, max_faults(300), n_c) <= 1e-9
+
+
+def test_min_clan_size_is_minimal_locally():
+    n_c = min_clan_size(300, failure_prob=1e-9)
+    smaller = [
+        dishonest_majority_prob(300, max_faults(300), c) for c in range(1, n_c)
+    ]
+    assert all(p > 1e-9 for p in smaller)
+
+
+def test_clan_size_curve_shape():
+    curve = clan_size_curve([100, 300, 500, 1000], failure_prob=1e-9)
+    sizes = [n_c for _, n_c in curve]
+    # Fig. 1: clan size grows with n but sublinearly; at n=1000 it stays < 250.
+    assert sizes == sorted(sizes)
+    assert sizes[-1] < 250
+    # The clan fraction shrinks as the tribe grows.
+    fractions = [n_c / n for n, n_c in curve]
+    assert fractions[0] > fractions[-1]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(CommitteeError):
+        dishonest_majority_prob(10, 11, 5)
+    with pytest.raises(CommitteeError):
+        dishonest_majority_prob(10, 3, 0)
+    with pytest.raises(CommitteeError):
+        dishonest_majority_prob(10, 3, 11)
+    with pytest.raises(CommitteeError):
+        min_clan_size(10, failure_prob=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=120),
+    n_c=st.integers(min_value=1, max_value=120),
+)
+def test_probability_in_unit_interval(n, n_c):
+    n_c = min(n_c, n)
+    p = dishonest_majority_prob(n, max_faults(n), n_c)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=10, max_value=100))
+def test_matches_scipy_randomized(n):
+    f = max_faults(n)
+    n_c = max(1, n // 2)
+    threshold = (n_c + 1) // 2
+    ours = dishonest_majority_prob(n, f, n_c)
+    scipy_tail = float(hypergeom(n, f, n_c).sf(threshold - 1))
+    assert ours == pytest.approx(scipy_tail, rel=1e-9, abs=1e-12)

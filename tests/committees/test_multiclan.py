@@ -1,0 +1,160 @@
+"""Tests for multi-clan partition statistics (§6.2, Eqs. 3–7)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.committees.multiclan import (
+    equal_partition_prob,
+    max_equal_clans,
+    multi_clan_dishonest_prob,
+)
+from repro.errors import CommitteeError
+from repro.types import clan_max_faults, max_faults
+
+
+def test_paper_concrete_two_clans_n150():
+    # §6.2: n=150 split into two clans -> ~4.015e-6.
+    p = equal_partition_prob(150, 2)
+    assert p == pytest.approx(4.015e-6, rel=1e-3)
+
+
+def test_paper_concrete_three_clans_n387():
+    # §6.2: n=387 split into three clans -> ~1.11e-6.
+    p = equal_partition_prob(387, 3)
+    assert p == pytest.approx(1.11e-6, rel=1e-2)
+
+
+def test_single_clan_partition_never_fails():
+    # The whole tribe as one clan: f < n/3 < n/2.
+    assert multi_clan_dishonest_prob(100, 33, [100]) == 0.0
+
+
+def test_zero_faults_never_fails():
+    assert multi_clan_dishonest_prob(60, 0, [30, 30]) == 0.0
+
+
+def test_too_many_faults_always_fails():
+    # 2 clans of 4, f=7: some clan must get >= 4 > f_c=1 ... brute bound:
+    # any split (w1, w2), w1+w2=7, max >= 4 > f_c(4)=1 -> probability 1.
+    assert multi_clan_dishonest_prob(8, 7, [4, 4]) == 1.0
+
+
+def test_brute_force_small_partition():
+    """Exhaustively enumerate partitions of a small tribe and compare."""
+    n, f, sizes = 6, 2, [3, 3]
+    byz = set(range(f))
+    parties = list(range(n))
+    total = 0
+    good = 0
+    for clan1 in itertools.combinations(parties, sizes[0]):
+        clan2 = [p for p in parties if p not in clan1]
+        total += 1
+        ok = True
+        for clan in (clan1, clan2):
+            faults = sum(1 for p in clan if p in byz)
+            if faults > clan_max_faults(len(clan)):
+                ok = False
+        if ok:
+            good += 1
+    expected = 1 - good / total
+    assert multi_clan_dishonest_prob(n, f, sizes) == pytest.approx(expected)
+
+
+def test_brute_force_three_uneven_clans():
+    n, f, sizes = 9, 2, [4, 3, 2]
+    byz = set(range(f))
+    parties = list(range(n))
+    total = 0
+    good = 0
+    for clan1 in itertools.combinations(parties, sizes[0]):
+        rest1 = [p for p in parties if p not in clan1]
+        for clan2 in itertools.combinations(rest1, sizes[1]):
+            clan3 = [p for p in rest1 if p not in clan2]
+            total += 1
+            if all(
+                sum(1 for p in clan if p in byz) <= clan_max_faults(len(clan))
+                for clan in (clan1, clan2, clan3)
+            ):
+                good += 1
+    expected = 1 - good / total
+    assert multi_clan_dishonest_prob(n, f, sizes) == pytest.approx(expected)
+
+
+def test_matches_paper_closed_form_two_clans():
+    """Cross-check the DP against Eq. 4 implemented directly."""
+    n, q = 30, 2
+    f = max_faults(n)
+    n_c = n // q
+    f_c = clan_max_faults(n_c)
+    n_h = n - f
+    s = sum(
+        math.comb(f, w1) * math.comb(n_h, n_c - w1)
+        for w1 in range(max(0, f - f_c), min(f_c, f) + 1)
+    )
+    expected = 1 - s / math.comb(n, n_c)
+    assert equal_partition_prob(n, q) == pytest.approx(expected, rel=1e-12)
+
+
+def test_more_clans_riskier():
+    # With f fixed, finer partitions are (weakly) more likely to fail.
+    p2 = equal_partition_prob(120, 2)
+    p3 = equal_partition_prob(120, 3)
+    p4 = equal_partition_prob(120, 4)
+    assert p2 <= p3 <= p4
+
+
+def test_max_equal_clans_respects_bound():
+    q = max_equal_clans(150, 1e-5)
+    assert q >= 2
+    assert equal_partition_prob(150, q) <= 1e-5
+
+
+def test_max_equal_clans_returns_one_when_too_strict():
+    assert max_equal_clans(12, 1e-12) == 1
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(CommitteeError):
+        multi_clan_dishonest_prob(10, 3, [5, 4])  # doesn't partition
+    with pytest.raises(CommitteeError):
+        multi_clan_dishonest_prob(10, 3, [])
+    with pytest.raises(CommitteeError):
+        multi_clan_dishonest_prob(10, 11, [5, 5])
+    with pytest.raises(CommitteeError):
+        equal_partition_prob(10, 3)  # 3 does not divide 10
+    with pytest.raises(CommitteeError):
+        max_equal_clans(10, 2.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=60),
+    q=st.integers(min_value=1, max_value=4),
+)
+def test_probability_in_unit_interval(n, q):
+    sizes = []
+    base, extra = divmod(n, q)
+    if base == 0:
+        return
+    for i in range(q):
+        sizes.append(base + (1 if i < extra else 0))
+    p = multi_clan_dishonest_prob(n, max_faults(n), sizes)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=8, max_value=40))
+def test_partition_at_least_as_risky_as_single_sample(n):
+    """A 2-partition fails at least as often as sampling one clan of n//2."""
+    from repro.committees.hypergeometric import dishonest_majority_prob
+
+    if n % 2:
+        n += 1
+    f = max_faults(n)
+    single = dishonest_majority_prob(n, f, n // 2)
+    double = multi_clan_dishonest_prob(n, f, [n // 2, n // 2])
+    assert double >= single - 1e-12

@@ -1,0 +1,34 @@
+"""Shared helpers for consensus tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.committees import ClanConfig
+from repro.consensus import Deployment, ProtocolParams
+from repro.smr.mempool import SyntheticWorkload
+
+
+def run_deployment(
+    cfg: ClanConfig,
+    until: float = 8.0,
+    txns: int = 5,
+    params: ProtocolParams | None = None,
+    **kwargs,
+):
+    """Build, start, and run a deployment; returns (deployment, workload)."""
+    workload = SyntheticWorkload(txns_per_proposal=txns)
+    deployment = Deployment(
+        cfg,
+        params or ProtocolParams(),
+        make_block=workload.make_block,
+        **kwargs,
+    )
+    deployment.start()
+    deployment.run(until=until, max_events=10_000_000)
+    return deployment, workload
+
+
+@pytest.fixture
+def run():
+    return run_deployment

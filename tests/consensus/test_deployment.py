@@ -1,0 +1,75 @@
+"""Tests for the Deployment harness itself."""
+
+import pytest
+
+from repro.committees import ClanConfig
+from repro.consensus import Deployment, ProtocolParams
+from repro.consensus.byzantine import SilentNode
+from repro.errors import ConsensusError
+from repro.smr.mempool import SyntheticWorkload
+
+
+def test_honest_ids_excludes_faulty():
+    deployment = Deployment(
+        ClanConfig.baseline(7), crashed={6}, byzantine={5: SilentNode()}
+    )
+    assert deployment.honest_ids == [0, 1, 2, 3, 4]
+
+
+def test_crashed_and_byzantine_overlap_rejected():
+    with pytest.raises(ConsensusError):
+        Deployment(
+            ClanConfig.baseline(7), crashed={3}, byzantine={3: SilentNode()}
+        )
+
+
+def test_staggered_start_still_converges():
+    workload = SyntheticWorkload(txns_per_proposal=2)
+    deployment = Deployment(
+        ClanConfig.baseline(4),
+        ProtocolParams(leader_timeout=2.0),
+        make_block=workload.make_block,
+    )
+    deployment.start(stagger=0.2)  # node i starts at 0.2*i
+    deployment.run(until=8.0, max_events=5_000_000)
+    deployment.check_total_order_consistency()
+    assert deployment.min_ordered() > 10
+
+
+def test_ordered_vertices_everywhere_is_common_prefix():
+    workload = SyntheticWorkload(txns_per_proposal=2)
+    deployment = Deployment(ClanConfig.baseline(4), make_block=workload.make_block)
+    deployment.start()
+    deployment.run(until=4.0, max_events=5_000_000)
+    common = deployment.ordered_vertices_everywhere()
+    shortest = min(len(deployment.nodes[i].ordered_log) for i in range(4))
+    assert len(common) == shortest
+    for i in range(4):
+        prefix = [v.key for v in deployment.nodes[i].ordered_vertices[: len(common)]]
+        assert prefix == [v.key for v in common]
+
+
+def test_consistency_check_detects_divergence():
+    deployment = Deployment(ClanConfig.baseline(4))
+    deployment.start()
+    deployment.run(until=2.0, max_events=5_000_000)
+    # Forge a divergence on one node's log.
+    node = deployment.nodes[2]
+    assert node.ordered_log
+    vertex, when = node.ordered_log[0]
+    other = deployment.nodes[3].ordered_log[1][0]
+    node.ordered_log[0] = (other, when)
+    with pytest.raises(ConsensusError):
+        deployment.check_total_order_consistency()
+
+
+def test_deployment_with_zero_block_factory():
+    """No make_block: pure metadata consensus still runs and orders."""
+    deployment = Deployment(ClanConfig.baseline(4))
+    deployment.start()
+    deployment.run(until=3.0, max_events=5_000_000)
+    assert deployment.min_ordered() > 10
+    assert all(
+        v.block_digest is None
+        for v in deployment.ordered_vertices_everywhere()
+    )

@@ -1,0 +1,66 @@
+"""Tests for the rotating leader schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.leader import LeaderSchedule
+from repro.errors import ConsensusError
+
+
+def test_every_party_leads_once_per_epoch():
+    schedule = LeaderSchedule(9, seed=4)
+    for epoch in range(3):
+        leaders = [schedule.leader(epoch * 9 + slot) for slot in range(1, 10)]
+        assert sorted(leaders) == list(range(9))
+
+
+def test_epochs_use_different_permutations():
+    schedule = LeaderSchedule(20, seed=4)
+    first = [schedule.leader(r) for r in range(1, 21)]
+    second = [schedule.leader(r) for r in range(21, 41)]
+    assert first != second  # re-shuffled per epoch (same multiset)
+    assert sorted(first) == sorted(second)
+
+
+def test_schedule_deterministic_across_instances():
+    a = LeaderSchedule(12, seed=9)
+    b = LeaderSchedule(12, seed=9)
+    assert [a.leader(r) for r in range(1, 40)] == [b.leader(r) for r in range(1, 40)]
+
+
+def test_is_leader_consistency():
+    schedule = LeaderSchedule(7, seed=1)
+    for round_ in range(1, 30):
+        leader = schedule.leader(round_)
+        assert schedule.is_leader(round_, leader)
+        assert not schedule.is_leader(round_, (leader + 1) % 7)
+
+
+def test_multi_leader_rounds_distinct_and_prefixed():
+    schedule = LeaderSchedule(10, seed=2, leaders_per_round=3)
+    for round_ in range(1, 25):
+        leaders = schedule.leaders(round_)
+        assert len(leaders) == 3
+        assert len(set(leaders)) == 3
+        assert schedule.leader(round_) == leaders[0]
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConsensusError):
+        LeaderSchedule(0)
+    with pytest.raises(ConsensusError):
+        LeaderSchedule(5, leaders_per_round=6)
+    with pytest.raises(ConsensusError):
+        LeaderSchedule(5).leader(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+    round_=st.integers(min_value=1, max_value=10_000),
+)
+def test_leader_always_in_range(n, seed, round_):
+    schedule = LeaderSchedule(n, seed=seed)
+    assert 0 <= schedule.leader(round_) < n

@@ -1,0 +1,162 @@
+"""White-box tests for SailfishNode internals: votes, no-votes, NVC validity."""
+
+import pytest
+
+from repro.committees import ClanConfig
+from repro.consensus import Deployment, ProtocolParams
+from repro.consensus.messages import (
+    NoVoteCertificate,
+    NoVoteMsg,
+    no_vote_statement,
+)
+from repro.crypto.certificates import build_certificate
+from repro.crypto.signatures import Signature
+from repro.dag.vertex import Vertex, genesis_vertex
+from repro.net.latency import UniformLatencyModel
+from repro.smr.mempool import SyntheticWorkload
+
+N = 7
+
+
+def build(crashed=None, leader_timeout=0.8):
+    workload = SyntheticWorkload(txns_per_proposal=2)
+    deployment = Deployment(
+        ClanConfig.baseline(N),
+        ProtocolParams(leader_timeout=leader_timeout),
+        latency=UniformLatencyModel(0.05),
+        make_block=workload.make_block,
+        crashed=crashed,
+        seed=8,
+    )
+    return deployment
+
+
+def test_vote_counting_deduplicates_sources():
+    deployment = build()
+    node = deployment.nodes[0]
+    refs = tuple(genesis_vertex(i).ref() for i in range(N))
+    leader1 = deployment.schedule.leader(1)
+    leader_vertex = Vertex(1, leader1, None, refs)
+    node._on_vertex_delivered(leader_vertex)
+    # Feed the same voting vertex twice through the first-VAL hook.
+    vote_vertex = Vertex(2, 3, None, (leader_vertex.ref(),))
+    node._on_first_val(vote_vertex)
+    node._on_first_val(vote_vertex)
+    assert node.votes[1] == {3}
+
+
+def test_no_vote_signature_checked():
+    deployment = build()
+    node = deployment.nodes[0]
+    bogus = Signature(2, no_vote_statement(1), b"\x00" * 16)
+    node._on_no_vote(2, NoVoteMsg(1, bogus))
+    assert 2 not in node.no_votes[1]
+    good = deployment.pki.key(2).sign(no_vote_statement(1))
+    node._on_no_vote(2, NoVoteMsg(1, good))
+    assert 2 in node.no_votes[1]
+
+
+def test_no_vote_from_wrong_sender_rejected():
+    deployment = build()
+    node = deployment.nodes[0]
+    sig = deployment.pki.key(2).sign(no_vote_statement(1))
+    node._on_no_vote(3, NoVoteMsg(1, sig))  # relayed under the wrong src
+    assert not node.no_votes[1]
+
+
+def test_invalid_leader_vertex_without_nvc_rejected():
+    """A leader vertex skipping the previous leader without an NVC is not
+    vote-eligible."""
+    deployment = build()
+    node = deployment.nodes[0]
+    refs = tuple(genesis_vertex(i).ref() for i in range(N))
+    # Build rounds 1: all vertices delivered.
+    r1 = [Vertex(1, s, None, refs) for s in range(N)]
+    for v in r1:
+        node._on_vertex_delivered(v)
+    leader2 = deployment.schedule.leader(2)
+    prev_leader = deployment.schedule.leader(1)
+    non_leader_refs = tuple(v.ref() for v in r1 if v.source != prev_leader)
+    invalid_leader_vertex = Vertex(2, leader2, None, non_leader_refs, nvc=None)
+    node._on_vertex_delivered(invalid_leader_vertex)
+    assert node._leader_vertex_valid(2) is False
+
+
+def test_leader_vertex_with_valid_nvc_accepted():
+    deployment = build()
+    node = deployment.nodes[0]
+    refs = tuple(genesis_vertex(i).ref() for i in range(N))
+    r1 = [Vertex(1, s, None, refs) for s in range(N)]
+    for v in r1:
+        node._on_vertex_delivered(v)
+    leader2 = deployment.schedule.leader(2)
+    prev_leader = deployment.schedule.leader(1)
+    non_leader_refs = tuple(v.ref() for v in r1 if v.source != prev_leader)
+    sigs = [
+        deployment.pki.key(i).sign(no_vote_statement(1)) for i in range(5)
+    ]
+    nvc = NoVoteCertificate(1, build_certificate(sigs))
+    leader_vertex = Vertex(2, leader2, None, non_leader_refs, nvc=nvc)
+    node._on_vertex_delivered(leader_vertex)
+    assert node._leader_vertex_valid(2) is True
+
+
+def test_leader_vertex_with_undersized_nvc_rejected():
+    deployment = build()
+    node = deployment.nodes[0]
+    refs = tuple(genesis_vertex(i).ref() for i in range(N))
+    r1 = [Vertex(1, s, None, refs) for s in range(N)]
+    for v in r1:
+        node._on_vertex_delivered(v)
+    leader2 = deployment.schedule.leader(2)
+    prev_leader = deployment.schedule.leader(1)
+    non_leader_refs = tuple(v.ref() for v in r1 if v.source != prev_leader)
+    sigs = [deployment.pki.key(i).sign(no_vote_statement(1)) for i in range(3)]
+    nvc = NoVoteCertificate(1, build_certificate(sigs))  # only 3 < 2f+1
+    leader_vertex = Vertex(2, leader2, None, non_leader_refs, nvc=nvc)
+    node._on_vertex_delivered(leader_vertex)
+    assert node._leader_vertex_valid(2) is False
+
+
+def test_no_vote_promise_withholds_leader_edge():
+    """After no-voting round r, a (non-next-leader) node's round r+1 vertex
+    must not reference the round-r leader vertex even if it arrives late."""
+    deployment = build(crashed=None, leader_timeout=0.3)
+    # Use a targeted run: crash nothing, manually drive node 0.
+    node = deployment.nodes[0]
+    refs = tuple(genesis_vertex(i).ref() for i in range(N))
+    r1 = [Vertex(1, s, None, refs) for s in range(N)]
+    prev_leader = deployment.schedule.leader(1)
+    node.started = True
+    node.round = 1
+    node.no_voted.add(1)  # simulated timeout happened
+    for v in r1:
+        node.store.add(v)
+    edges = node._strong_edges(2)
+    if deployment.schedule.leader(2) != node.node_id:
+        assert all(ref.source != prev_leader for ref in edges)
+    else:
+        # The next leader keeps the edge (documented liveness exception).
+        assert any(ref.source == prev_leader for ref in edges)
+
+
+def test_commit_requires_attached_leader_vertex():
+    deployment = build()
+    node = deployment.nodes[0]
+    # Stuff votes without the leader vertex: no commit.
+    node.votes[1] = set(range(5))
+    node._try_commit(1)
+    assert node.committed_leaders == []
+
+
+def test_crashed_leader_rounds_skipped_in_committed_sequence():
+    deployment = build(crashed={4}, leader_timeout=0.5)
+    deployment.start()
+    deployment.run(until=15.0, max_events=10_000_000)
+    deployment.check_total_order_consistency()
+    node = deployment.nodes[0]
+    committed_rounds = [v.round for v in node.committed_leaders]
+    assert committed_rounds == sorted(committed_rounds)
+    # Rounds led by the crashed node never appear as committed leaders.
+    for vertex in node.committed_leaders:
+        assert vertex.source != 4

@@ -1,0 +1,130 @@
+"""Tests for epoch-based clan rotation."""
+
+import pytest
+
+from repro.committees import ClanConfig
+from repro.committees.rotation import ClanSchedule, StaticSchedule
+from repro.consensus import Deployment, ProtocolParams
+from repro.errors import CommitteeError
+from repro.smr.mempool import SyntheticWorkload
+
+
+def test_epoch_boundaries():
+    schedule = ClanSchedule("single-clan", 12, epoch_length=10, clan_size=6, seed=1)
+    assert schedule.epoch_of(1) == 0
+    assert schedule.epoch_of(10) == 0
+    assert schedule.epoch_of(11) == 1
+    assert schedule.epoch_of(21) == 2
+
+
+def test_zero_epoch_length_never_rotates():
+    schedule = ClanSchedule("single-clan", 12, epoch_length=0, clan_size=6, seed=1)
+    assert schedule.cfg_at(1) is schedule.cfg_at(10_000)
+
+
+def test_rotation_changes_clans():
+    schedule = ClanSchedule("single-clan", 20, epoch_length=5, clan_size=8, seed=1)
+    clans = {schedule.cfg_of_epoch(e).clan(0) for e in range(5)}
+    assert len(clans) > 1  # re-elected clans differ across epochs
+    for e in range(5):
+        assert len(schedule.cfg_of_epoch(e).clan(0)) == 8
+
+
+def test_schedule_deterministic():
+    a = ClanSchedule("multi-clan", 12, epoch_length=7, clans=2, seed=3)
+    b = ClanSchedule("multi-clan", 12, epoch_length=7, clans=2, seed=3)
+    for e in range(4):
+        assert a.cfg_of_epoch(e).clans == b.cfg_of_epoch(e).clans
+
+
+def test_static_schedule_wrapper():
+    cfg = ClanConfig.baseline(7)
+    schedule = StaticSchedule(cfg)
+    assert schedule.cfg_at(99) is cfg
+    assert schedule.epoch_of(99) == 0
+
+
+def test_invalid_schedule_params():
+    with pytest.raises(CommitteeError):
+        ClanSchedule("bogus", 10)
+    with pytest.raises(CommitteeError):
+        ClanSchedule("single-clan", 10, clan_size=None)
+    with pytest.raises(CommitteeError):
+        ClanSchedule("baseline", 10, epoch_length=-1)
+
+
+def test_consensus_progresses_across_epoch_boundaries():
+    n = 12
+    schedule = ClanSchedule("single-clan", n, epoch_length=8, clan_size=6, seed=4)
+    workload = SyntheticWorkload(txns_per_proposal=5)
+    deployment = Deployment(
+        schedule.cfg_at(1),
+        ProtocolParams(),
+        make_block=workload.make_block,
+        clan_schedule=schedule,
+        seed=4,
+    )
+    deployment.start()
+    deployment.run(until=8.0, max_events=10_000_000)
+    deployment.check_total_order_consistency()
+    rounds = min(node.round for node in deployment.nodes)
+    assert rounds > 24  # crossed at least three epoch boundaries
+    assert deployment.min_ordered() > 40
+
+
+def test_blocks_follow_the_epochs_clan():
+    """Every ordered block-bearing vertex was proposed by (and its block held
+    within) the clan in force for its round."""
+    n = 12
+    schedule = ClanSchedule("single-clan", n, epoch_length=8, clan_size=6, seed=4)
+    workload = SyntheticWorkload(txns_per_proposal=5)
+    deployment = Deployment(
+        schedule.cfg_at(1),
+        ProtocolParams(),
+        make_block=workload.make_block,
+        clan_schedule=schedule,
+        seed=4,
+    )
+    deployment.start()
+    deployment.run(until=8.0, max_events=10_000_000)
+    ordered = deployment.ordered_vertices_everywhere()
+    epochs_seen = set()
+    for vertex in ordered:
+        cfg = schedule.cfg_at(vertex.round)
+        epochs_seen.add(schedule.epoch_of(vertex.round))
+        if vertex.block_digest is not None:
+            assert vertex.source in cfg.block_proposers, (
+                f"round {vertex.round}: {vertex.source} proposed a block but "
+                f"is not in the epoch's clan"
+            )
+    assert len(epochs_seen) >= 3
+
+
+def test_rotation_block_holdings_match_epochs():
+    """A node holds exactly the blocks of the epochs in which it served."""
+    n = 12
+    schedule = ClanSchedule("single-clan", n, epoch_length=10, clan_size=6, seed=5)
+    workload = SyntheticWorkload(txns_per_proposal=5)
+    deployment = Deployment(
+        schedule.cfg_at(1),
+        ProtocolParams(),
+        make_block=workload.make_block,
+        clan_schedule=schedule,
+        seed=5,
+    )
+    deployment.start()
+    deployment.run(until=8.0, max_events=10_000_000)
+    ordered = deployment.ordered_vertices_everywhere()
+    # Map block digest -> round to locate each block's epoch.
+    round_of = {
+        v.block_digest: v.round for v in ordered if v.block_digest is not None
+    }
+    for node in deployment.nodes:
+        for digest, block in node.blocks.items():
+            round_ = round_of.get(digest)
+            if round_ is None:
+                continue  # not in the common ordered prefix
+            cfg = schedule.cfg_at(round_)
+            if block.proposer == node.node_id:
+                continue  # own proposals are always held
+            assert node.node_id in cfg.clan(cfg.block_clan_of(block.proposer))

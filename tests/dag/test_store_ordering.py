@@ -1,0 +1,196 @@
+"""Tests for DagStore (orphan buffering, paths) and OrderingEngine."""
+
+import pytest
+
+from repro.dag import DagStore, OrderingEngine, Vertex, genesis_vertex
+from repro.errors import DagError
+
+N = 4
+
+
+def build_round(store_or_refs, round_, sources, prev_refs, block=None):
+    """Create one vertex per source with strong edges to prev_refs."""
+    vertices = []
+    for s in sources:
+        vertices.append(
+            Vertex(round=round_, source=s, block_digest=block,
+                   strong_edges=tuple(prev_refs))
+        )
+    return vertices
+
+
+def genesis_refs(n=N):
+    return [genesis_vertex(i).ref() for i in range(n)]
+
+
+def test_store_starts_with_genesis():
+    store = DagStore(N)
+    assert store.num_in_round(0) == N
+    assert store.size == N
+
+
+def test_add_and_get():
+    store = DagStore(N)
+    [v] = build_round(store, 1, [0], genesis_refs())
+    attached = store.add(v)
+    assert attached == [v]
+    assert store.get(1, 0) is v
+    assert store.contains(v.ref())
+
+
+def test_duplicate_add_is_noop():
+    store = DagStore(N)
+    [v] = build_round(store, 1, [0], genesis_refs())
+    store.add(v)
+    assert store.add(v) == []
+    assert store.size == N + 1
+
+
+def test_conflicting_vertex_rejected():
+    store = DagStore(N)
+    refs = genesis_refs()
+    v1 = Vertex(1, 0, None, tuple(refs))
+    v2 = Vertex(1, 0, b"\x01" * 32, tuple(refs))
+    store.add(v1)
+    with pytest.raises(DagError):
+        store.add(v2)
+
+
+def test_orphan_buffered_until_parents_arrive():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    r1_refs = [v.ref() for v in r1]
+    [child] = build_round(store, 2, [0], r1_refs)
+    assert store.add(child) == []
+    assert store.pending_count == 1
+    assert not store.contains_key(2, 0)
+    attached = []
+    for v in r1:
+        attached += store.add(v)
+    assert child in attached
+    assert store.contains_key(2, 0)
+    assert store.pending_count == 0
+
+
+def test_deep_orphan_chain_unblocks_recursively():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    r2 = build_round(store, 2, range(N), [v.ref() for v in r1])
+    r3 = build_round(store, 3, [0], [v.ref() for v in r2])
+    for v in r3 + r2:
+        assert store.add(v) == []
+    attached = []
+    for v in r1:
+        attached += store.add(v)
+    keys = {v.key for v in attached}
+    assert (3, 0) in keys and (2, 1) in keys
+
+
+def test_strong_path_direct_and_transitive():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    r2 = build_round(store, 2, range(N), [v.ref() for v in r1])
+    for v in r2:
+        store.add(v)
+    assert store.strong_path_exists(r2[0], r1[3])
+    assert store.strong_path_exists(r2[0], r2[0])
+    assert not store.strong_path_exists(r1[0], r2[0])  # wrong direction
+
+
+def test_strong_path_ignores_weak_edges():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    # Round 2 references only sources 0..2 strongly.
+    r2_refs = [r1[i].ref() for i in range(3)]
+    r2 = build_round(store, 2, range(N), r2_refs)
+    for v in r2:
+        store.add(v)
+    # Round 3 strongly references r2, weakly references the orphan r1[3].
+    v3 = Vertex(3, 0, None, tuple(v.ref() for v in r2), weak_edges=(r1[3].ref(),))
+    store.add(v3)
+    assert not store.strong_path_exists(v3, r1[3])
+    history = {v.key for v in store.causal_history(v3)}
+    assert (1, 3) in history  # weak edges do count for causal history
+
+
+def test_uncovered_tracks_unreferenced_tips():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    assert {v.key for v in store.uncovered_before(2)} == {(1, i) for i in range(N)}
+    r2 = build_round(store, 2, [0], [v.ref() for v in r1[:3]])
+    store.add(r2[0])
+    # r1[3] remains uncovered; r1[0..2] are now covered by r2[0].
+    assert {v.key for v in store.uncovered_before(3)} == {(1, 3), (2, 0)}
+
+
+def test_causal_history_excludes_genesis_includes_self():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    r2 = build_round(store, 2, [1], [v.ref() for v in r1])
+    store.add(r2[0])
+    history = store.causal_history(r2[0])
+    keys = {v.key for v in history}
+    assert (2, 1) in keys
+    assert all(r > 0 for r, _ in keys)
+    assert len(keys) == 5
+
+
+def test_ordering_deterministic_and_disjoint():
+    """Two stores fed the same DAG in different orders produce one sequence."""
+    def build_dag():
+        store = DagStore(N)
+        r1 = build_round(store, 1, range(N), genesis_refs())
+        r2 = build_round(store, 2, range(N), [v.ref() for v in r1])
+        r3 = build_round(store, 3, range(N), [v.ref() for v in r2])
+        return store, r1, r2, r3
+
+    store_a, a1, a2, a3 = build_dag()
+    for v in a1 + a2 + a3:
+        store_a.add(v)
+    store_b, b1, b2, b3 = build_dag()
+    for v in reversed(b1 + b2 + b3):
+        store_b.add(v)
+
+    eng_a, eng_b = OrderingEngine(store_a), OrderingEngine(store_b)
+    seq_a = [v.key for v in eng_a.order_leader(a2[0])] + [
+        v.key for v in eng_a.order_leader(a3[1])
+    ]
+    seq_b = [v.key for v in eng_b.order_leader(b2[0])] + [
+        v.key for v in eng_b.order_leader(b3[1])
+    ]
+    assert seq_a == seq_b
+    assert len(seq_a) == len(set(seq_a))  # no vertex ordered twice
+
+
+def test_ordering_rejects_stale_leader():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    r2 = build_round(store, 2, range(N), [v.ref() for v in r1])
+    for v in r2:
+        store.add(v)
+    engine = OrderingEngine(store)
+    engine.order_leader(r2[0])
+    with pytest.raises(DagError):
+        engine.order_leader(r1[0])
+
+
+def test_ordering_counts():
+    store = DagStore(N)
+    r1 = build_round(store, 1, range(N), genesis_refs())
+    for v in r1:
+        store.add(v)
+    engine = OrderingEngine(store)
+    newly = engine.order_leader(r1[2])
+    assert engine.count == len(newly) == 1
+    assert engine.is_ordered(r1[2])
+    assert not engine.is_ordered(r1[0])

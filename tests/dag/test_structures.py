@@ -1,0 +1,102 @@
+"""Tests for Transaction, Block, Vertex structures (Fig. 4)."""
+
+import pytest
+
+from repro.dag import Block, Transaction, Vertex, VertexRef, genesis_vertex
+from repro.errors import DagError
+from repro.net import sizes
+
+
+def make_txns(k, size=512):
+    return [Transaction(txn_id=f"t{i}", op=("noop",), size=size) for i in range(k)]
+
+
+def test_transaction_digest_unique():
+    a = Transaction("t1", ("set", "x", 1))
+    b = Transaction("t2", ("set", "x", 1))
+    assert a.txn_digest() != b.txn_digest()
+
+
+def test_concrete_block_roundtrip():
+    txns = make_txns(3)
+    block = Block.concrete(proposer=1, round_=2, txns=txns, created_at=1.5)
+    assert block.txn_count == 3
+    assert not block.is_synthetic
+    assert list(block.iter_txns()) == txns
+    assert block.wire_size() == sizes.HEADER_SIZE + 3 * 512
+
+
+def test_synthetic_block_same_wire_size_as_concrete():
+    concrete = Block.concrete(0, 1, make_txns(10), 0.0)
+    synthetic = Block.synthetic(0, 1, txn_count=10, created_at=0.0)
+    assert concrete.wire_size() == synthetic.wire_size()
+    assert synthetic.is_synthetic
+    assert list(synthetic.iter_txns()) == []
+
+
+def test_block_digest_depends_on_content():
+    b1 = Block.concrete(0, 1, make_txns(2), 0.0)
+    b2 = Block.concrete(0, 1, make_txns(3), 0.0)
+    assert b1.payload_digest() != b2.payload_digest()
+    assert b1.payload_digest() == Block.concrete(0, 1, make_txns(2), 0.0).payload_digest()
+
+
+def test_block_count_mismatch_rejected():
+    with pytest.raises(DagError):
+        Block(proposer=0, round=1, txns=tuple(make_txns(2)), txn_count=3,
+              txn_size=512, created_at=0.0)
+
+
+def test_genesis_vertex_shape():
+    g = genesis_vertex(3)
+    assert g.round == 0 and g.source == 3
+    assert g.strong_edges == () and g.weak_edges == ()
+    assert g.block_digest is None
+
+
+def test_vertex_ref_and_digest_stable():
+    g = genesis_vertex(0)
+    v = Vertex(round=1, source=2, block_digest=b"\x01" * 32,
+               strong_edges=(g.ref(),))
+    assert v.ref().key == (1, 2)
+    assert v.ref().digest == v.vertex_digest()
+    same = Vertex(round=1, source=2, block_digest=b"\x01" * 32,
+                  strong_edges=(g.ref(),))
+    assert v.vertex_digest() == same.vertex_digest()
+
+
+def test_vertex_digest_changes_with_edges():
+    g0, g1 = genesis_vertex(0), genesis_vertex(1)
+    v1 = Vertex(1, 0, None, (g0.ref(),))
+    v2 = Vertex(1, 0, None, (g0.ref(), g1.ref()))
+    assert v1.vertex_digest() != v2.vertex_digest()
+
+
+def test_strong_edge_round_validation():
+    g = genesis_vertex(0)
+    with pytest.raises(DagError):
+        Vertex(round=2, source=0, block_digest=None, strong_edges=(g.ref(),))
+
+
+def test_weak_edge_round_validation():
+    g = genesis_vertex(0)
+    v1 = Vertex(1, 0, None, (g.ref(),))
+    with pytest.raises(DagError):
+        # Weak edge must target rounds < round-1.
+        Vertex(round=2, source=1, block_digest=None,
+               strong_edges=(v1.ref(),), weak_edges=(v1.ref(),))
+
+
+def test_vertex_wire_size_scales_with_edges():
+    g_refs = tuple(genesis_vertex(i).ref() for i in range(4))
+    small = Vertex(1, 0, None, g_refs[:2])
+    large = Vertex(1, 0, None, g_refs)
+    assert large.wire_size() - small.wire_size() == 2 * sizes.VERTEX_REF_SIZE
+
+
+def test_vertex_parents_concatenates_edges():
+    g0, g1 = genesis_vertex(0), genesis_vertex(1)
+    v1 = Vertex(1, 0, None, (g0.ref(),))
+    v2 = Vertex(2, 0, None, (v1.ref(),))
+    v3 = Vertex(3, 1, None, (v2.ref(),), weak_edges=(v1.ref(),))
+    assert v3.parents() == (v2.ref(), v1.ref())

@@ -1,0 +1,63 @@
+"""Property tests for the partial-synchrony adversary model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.net.adversary import PartialSynchronyAdversary, TargetedDelayAdversary
+from repro.net.message import Message
+
+
+class Probe(Message):
+    __slots__ = ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    gst=st.floats(min_value=0.0, max_value=100.0),
+    max_extra=st.floats(min_value=0.0, max_value=50.0),
+    delta=st.floats(min_value=0.01, max_value=5.0),
+    now=st.floats(min_value=0.0, max_value=200.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_partial_synchrony_delay_bounds(gst, max_extra, delta, now, seed):
+    """The model's contract: zero extra delay after GST; before GST, the
+    extra never pushes arrival past GST + Δ."""
+    adversary = PartialSynchronyAdversary(gst, max_extra, delta, seed=seed)
+    extra = adversary.extra_delay(0, 1, Probe(), now)
+    assert extra >= 0.0
+    if now >= gst:
+        assert extra == 0.0
+    else:
+        assert now + extra <= gst + delta + 1e-9
+        assert extra <= max_extra + 1e-9
+
+
+def test_partial_synchrony_validation():
+    with pytest.raises(ConfigError):
+        PartialSynchronyAdversary(gst=-1, max_extra=1, delta=1)
+    with pytest.raises(ConfigError):
+        PartialSynchronyAdversary(gst=1, max_extra=1, delta=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    victims=st.sets(st.integers(min_value=0, max_value=9), max_size=4),
+    src=st.integers(min_value=0, max_value=9),
+    dst=st.integers(min_value=0, max_value=9),
+    now=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_targeted_adversary_hits_exactly_victims(victims, src, dst, now):
+    adversary = TargetedDelayAdversary(victims, extra=3.0, until=10.0)
+    extra = adversary.extra_delay(src, dst, Probe(), now)
+    involved = src in victims or dst in victims
+    if now >= 10.0 or not involved:
+        assert extra == 0.0
+    else:
+        assert extra == 3.0
+
+
+def test_targeted_adversary_validation():
+    with pytest.raises(ConfigError):
+        TargetedDelayAdversary({1}, extra=-1.0)

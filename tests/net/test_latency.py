@@ -1,0 +1,86 @@
+"""Tests for the latency models and the Table 1 GCP matrix."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.latency import (
+    GCP_REGIONS,
+    GCP_RTT_MS,
+    GeoLatencyModel,
+    UniformLatencyModel,
+    gcp_latency_model,
+    round_robin_regions,
+)
+
+
+def test_gcp_matrix_complete_and_positive():
+    assert len(GCP_REGIONS) == 5
+    for src in GCP_REGIONS:
+        for dst in GCP_REGIONS:
+            assert GCP_RTT_MS[(src, dst)] > 0
+
+
+def test_gcp_matrix_paper_values():
+    # Spot-check Table 1 entries.
+    assert GCP_RTT_MS[("us-east1", "us-west1")] == 66.14
+    assert GCP_RTT_MS[("europe-north1", "australia-southeast1")] == 295.13
+    assert GCP_RTT_MS[("australia-southeast1", "australia-southeast1")] == 0.58
+
+
+def test_gcp_matrix_roughly_symmetric():
+    # Ping RTTs in Table 1 are near-symmetric; the largest measured asymmetry
+    # in the paper's matrix is 2.68 ms (asia <-> australia).
+    for src in GCP_REGIONS:
+        for dst in GCP_REGIONS:
+            assert abs(GCP_RTT_MS[(src, dst)] - GCP_RTT_MS[(dst, src)]) < 3.0
+
+
+def test_round_robin_assignment_even():
+    regions = round_robin_regions(10)
+    assert len(regions) == 10
+    assert regions.count("us-east1") == 2
+    assert regions[0] == "us-east1" and regions[5] == "us-east1"
+
+
+def test_uniform_latency_constant():
+    model = UniformLatencyModel(base=0.05)
+    assert model.delay(0, 1) == 0.05
+    assert model.mean_delay(10) == 0.05
+
+
+def test_uniform_latency_jitter_bounds():
+    model = UniformLatencyModel(base=0.05, jitter=0.01, seed=3)
+    for _ in range(100):
+        d = model.delay(0, 1)
+        assert 0.05 <= d < 0.06
+
+
+def test_uniform_latency_rejects_negative():
+    with pytest.raises(ConfigError):
+        UniformLatencyModel(base=-1.0)
+
+
+def test_geo_latency_one_way_is_half_rtt():
+    model = GeoLatencyModel(["us-east1", "us-west1"], jitter=0.0)
+    assert model.delay(0, 1) == pytest.approx(66.14 / 2 / 1000)
+    assert model.delay(1, 0) == pytest.approx(66.15 / 2 / 1000)
+
+
+def test_geo_latency_unknown_region_rejected():
+    with pytest.raises(ConfigError):
+        GeoLatencyModel(["mars-north1"])
+
+
+def test_geo_latency_jitter_multiplicative():
+    model = GeoLatencyModel(["us-east1", "asia-northeast1"], jitter=0.1, seed=5)
+    base = 160.28 / 2 / 1000
+    for _ in range(50):
+        d = model.delay(0, 1)
+        assert base <= d <= base * 1.1 + 1e-12
+
+
+def test_gcp_model_mean_delay_reasonable():
+    model = gcp_latency_model(10, jitter=0.0)
+    mean = model.mean_delay(10)
+    # Table 1 one-way averages fall well inside (20 ms, 120 ms).
+    assert 0.020 < mean < 0.120

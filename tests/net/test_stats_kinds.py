@@ -1,0 +1,46 @@
+"""Tests for per-kind traffic accounting (used by the complexity benches)."""
+
+from repro.net.latency import UniformLatencyModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    __slots__ = ()
+
+    def wire_size(self):
+        return 100
+
+
+class Blob(Message):
+    __slots__ = ()
+
+    def wire_size(self):
+        return 5000
+
+
+def test_kind_tracking_disabled_by_default():
+    sim = Simulator()
+    net = Network(sim, 2, latency=UniformLatencyModel(0.01))
+    net.register(1, lambda s, m: None)
+    net.send(0, 1, Ping())
+    sim.run()
+    assert net.stats.bytes_by_kind == {}
+
+
+def test_kind_tracking_counts_by_class():
+    sim = Simulator()
+    net = Network(sim, 3, latency=UniformLatencyModel(0.01), track_kinds=True)
+    for i in range(3):
+        net.register(i, lambda s, m: None)
+    net.multicast(0, [1, 2], Ping())
+    net.send(0, 1, Blob())
+    sim.run()
+    assert net.stats.messages_by_kind == {"Ping": 2, "Blob": 1}
+    assert net.stats.bytes_by_kind == {"Ping": 200, "Blob": 5000}
+
+
+def test_message_kind_defaults_to_class_name():
+    assert Ping().kind() == "Ping"
+    assert Message().wire_size() > 0

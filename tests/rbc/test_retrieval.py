@@ -1,0 +1,125 @@
+"""Unit tests for the pull-based payload retrieval (Retriever/Responder)."""
+
+import pytest
+
+from repro.crypto.hashing import digest
+from repro.errors import BroadcastError
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network
+from repro.rbc.base import payload_digest
+from repro.rbc.messages import PayloadRequest, PayloadResponse
+from repro.rbc.retrieval import Responder, Retriever
+from repro.sim import Simulator
+
+PAYLOAD = b"the-block"
+
+
+def build(n=4, holders_have=True, channel="payload"):
+    sim = Simulator()
+    net = Network(sim, n, latency=UniformLatencyModel(0.01))
+    got = []
+    retriever = Retriever(0, net, sim, lambda o, r, p: got.append((o, r, p)),
+                          retry_timeout=0.2, channel=channel)
+    store = {(9, 1): PAYLOAD} if holders_have else {}
+    responders = []
+    for i in range(1, n):
+        responder = Responder(i, net, lambda o, r, s=store: s.get((o, r)),
+                              channel=channel)
+        responders.append(responder)
+
+        def handler(src, msg, responder=responder, retriever=retriever):
+            if isinstance(msg, PayloadRequest):
+                responder.on_request(src, msg)
+            else:
+                retriever.on_response(src, msg)
+
+        net.register(i, handler)
+    net.register(0, lambda src, msg: retriever.on_response(src, msg))
+    return sim, net, retriever, got, responders
+
+
+def test_fetch_retrieves_payload():
+    sim, net, retriever, got, _ = build()
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1])
+    sim.run(until=5.0)
+    assert got == [(9, 1, PAYLOAD)]
+    assert retriever.pending == set()
+
+
+def test_fetch_rotates_to_next_holder_on_timeout():
+    sim, net, retriever, got, _ = build()
+    net.crash(1)  # first holder dead
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1, 2])
+    sim.run(until=5.0)
+    assert got == [(9, 1, PAYLOAD)]
+
+
+def test_fetch_requires_holders():
+    sim, net, retriever, got, _ = build()
+    with pytest.raises(BroadcastError):
+        retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[])
+
+
+def test_fetch_idempotent_merges_holders():
+    sim, net, retriever, got, _ = build()
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1])
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[2])
+    assert retriever.pending == {(9, 1)}
+    sim.run(until=5.0)
+    assert len(got) == 1
+
+
+def test_corrupted_response_rejected_and_retried():
+    sim, net, retriever, got, _ = build()
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[2])
+    # An adversary injects a wrong payload for the pending fetch.
+    net.send(3, 0, PayloadResponse(9, 1, payload_digest(PAYLOAD), b"evil"))
+    sim.run(until=5.0)
+    assert got == [(9, 1, PAYLOAD)]
+
+
+def test_unsolicited_response_ignored():
+    sim, net, retriever, got, _ = build()
+    net.send(2, 0, PayloadResponse(9, 7, digest(b"x"), b"x"))
+    sim.run(until=1.0)
+    assert got == []
+
+
+def test_responder_rate_limits_per_requester():
+    sim, net, retriever, got, responders = build()
+    responder = responders[0]  # node 1
+    req = PayloadRequest(9, 1, payload_digest(PAYLOAD))
+    sent_before = net.stats.messages_sent[1]
+    for _ in range(5):
+        responder.on_request(3, req)
+    assert net.stats.messages_sent[1] == sent_before + 1
+
+
+def test_responder_silent_when_payload_unknown():
+    sim, net, retriever, got, responders = build(holders_have=False)
+    responders[0].on_request(3, PayloadRequest(9, 1, digest(b"?")))
+    assert net.stats.messages_sent[1] == 0
+
+
+def test_channel_isolation():
+    """Responses on another channel never satisfy a fetch."""
+    # Holders have nothing, so only the injected response could complete it.
+    sim, net, retriever, got, _ = build(channel="block", holders_have=False)
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1])
+    net.send(2, 0, PayloadResponse(9, 1, payload_digest(PAYLOAD), PAYLOAD, "vertex"))
+    sim.run(until=2.0)
+    assert got == []
+    # The same response on the right channel completes it immediately.
+    net.send(2, 0, PayloadResponse(9, 1, payload_digest(PAYLOAD), PAYLOAD, "block"))
+    sim.run(until=3.0)
+    assert got == [(9, 1, PAYLOAD)]
+
+
+def test_backoff_growth_bounded():
+    sim, net, retriever, got, _ = build(holders_have=False)
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1])
+    sim.run(until=300.0)
+    # Capped exponential backoff: far fewer requests than 300s/0.2s.
+    requests = net.stats.messages_sent[0]
+    assert requests < 40
+    assert retriever.pending == {(9, 1)}  # still trying (eventual delivery)

@@ -1,0 +1,93 @@
+"""Property tests for the scheduler: ordering, determinism, cancellation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+    )
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    for now, delay in fired:
+        assert now == delay
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=30
+    ),
+    cancel_indices=st.sets(st.integers(min_value=0, max_value=29)),
+)
+def test_cancelled_events_never_fire(delays, cancel_indices):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(delay, fired.append, idx) for idx, delay in enumerate(delays)
+    ]
+    cancelled = {i for i in cancel_indices if i < len(handles)}
+    for idx in cancelled:
+        handles[idx].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30
+    ),
+    split=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_run_until_is_a_clean_partition(delays, split):
+    """run(until=t) then run() fires the same sequence as one run()."""
+    def collect(two_phase):
+        sim = Simulator()
+        fired = []
+        for idx, delay in enumerate(delays):
+            sim.schedule(delay, fired.append, idx)
+        if two_phase:
+            sim.run(until=split)
+            sim.run()
+        else:
+            sim.run()
+        return fired
+
+    assert collect(True) == collect(False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cascading_schedules_deterministic(seed):
+    """Events that schedule further events replay identically."""
+    import random
+
+    def run():
+        rng = random.Random(seed)
+        sim = Simulator()
+        trace = []
+
+        def step(depth):
+            trace.append((round(sim.now, 9), depth))
+            if depth < 3:
+                for _ in range(rng.randint(1, 3)):
+                    sim.schedule(rng.random(), step, depth + 1)
+
+        sim.schedule(0.0, step, 0)
+        sim.run(max_events=10_000)
+        return trace
+
+    assert run() == run()

@@ -1,0 +1,67 @@
+"""Tests for timers and named RNG streams."""
+
+from repro.sim import Simulator, Timer, make_rng, stream_seed
+
+
+def test_timer_fires_after_duration():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+    timer.start()
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, fired.append, "x")
+    timer.start()
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.running
+
+
+def test_timer_restart_resets_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+    timer.start()
+    sim.schedule(1.0, timer.start)  # restart at t=1 -> fires at t=3
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_restart_with_new_duration():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+    timer.start(duration=5.0)
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_timer_running_flag():
+    sim = Simulator()
+    timer = Timer(sim, 1.0, lambda: None)
+    assert not timer.running
+    timer.start()
+    assert timer.running
+    sim.run()
+    assert not timer.running
+
+
+def test_stream_seed_deterministic_and_distinct():
+    assert stream_seed(1, "a") == stream_seed(1, "a")
+    assert stream_seed(1, "a") != stream_seed(1, "b")
+    assert stream_seed(1, "a") != stream_seed(2, "a")
+    assert stream_seed(1, "a", "b") != stream_seed(1, "ab")
+
+
+def test_make_rng_streams_independent():
+    a1 = make_rng(7, "x").random()
+    b1 = make_rng(7, "y").random()
+    a2 = make_rng(7, "x").random()
+    assert a1 == a2
+    assert a1 != b1

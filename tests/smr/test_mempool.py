@@ -1,0 +1,81 @@
+"""Unit tests for mempools and the synthetic workload oracle."""
+
+import pytest
+
+from repro.dag.transaction import Transaction
+from repro.errors import ConfigError
+from repro.smr.mempool import Mempool, SyntheticWorkload
+
+
+def txn(i):
+    return Transaction(f"t{i}", ("noop",))
+
+
+def test_mempool_fifo_drain():
+    pool = Mempool(max_txns_per_block=10)
+    for i in range(5):
+        pool.submit(txn(i))
+    block = pool.make_block(0, 1, 1.0)
+    assert [t.txn_id for t in block.iter_txns()] == [f"t{i}" for i in range(5)]
+    assert len(pool) == 0
+    assert block.created_at == 1.0
+
+
+def test_mempool_respects_block_cap():
+    pool = Mempool(max_txns_per_block=3)
+    for i in range(8):
+        pool.submit(txn(i))
+    first = pool.make_block(0, 1, 0.0)
+    second = pool.make_block(0, 2, 0.0)
+    third = pool.make_block(0, 3, 0.0)
+    assert first.txn_count == 3 and second.txn_count == 3 and third.txn_count == 2
+
+
+def test_empty_mempool_returns_none():
+    pool = Mempool()
+    assert pool.make_block(0, 1, 0.0) is None
+
+
+def test_mempool_validation():
+    with pytest.raises(ConfigError):
+        Mempool(max_txns_per_block=0)
+
+
+def test_synthetic_workload_records_oracle():
+    workload = SyntheticWorkload(txns_per_proposal=50)
+    block = workload.make_block(3, 7, 2.5)
+    assert block.txn_count == 50
+    assert block.is_synthetic
+    assert workload.blocks[block.payload_digest()] == (50, 2.5)
+
+
+def test_synthetic_workload_zero_load_is_metadata_only():
+    workload = SyntheticWorkload(txns_per_proposal=0)
+    assert workload.make_block(0, 1, 0.0) is None
+
+
+def test_synthetic_workload_distinct_digests_per_round_and_proposer():
+    workload = SyntheticWorkload(txns_per_proposal=5)
+    digests = {
+        workload.make_block(p, r, float(r)).payload_digest()
+        for p in range(3)
+        for r in range(1, 4)
+    }
+    assert len(digests) == 9
+
+
+def test_synthetic_workload_validation():
+    with pytest.raises(ConfigError):
+        SyntheticWorkload(txns_per_proposal=-1)
+    with pytest.raises(ConfigError):
+        SyntheticWorkload(txns_per_proposal=1, txn_size=0)
+
+
+def test_custom_txn_size_changes_wire_size():
+    small = SyntheticWorkload(txns_per_proposal=100, txn_size=128)
+    large = SyntheticWorkload(txns_per_proposal=100, txn_size=1024)
+    assert (
+        large.make_block(0, 1, 0.0).wire_size()
+        - small.make_block(0, 1, 0.0).wire_size()
+        == 100 * (1024 - 128)
+    )

@@ -1,0 +1,66 @@
+"""Tests for the deterministic KV state machine."""
+
+import pytest
+
+from repro.dag.transaction import Transaction
+from repro.errors import ExecutionError
+from repro.smr.state_machine import KvStateMachine
+
+
+def txn(i, op):
+    return Transaction(txn_id=f"t{i}", op=op)
+
+
+def test_set_get_del():
+    sm = KvStateMachine()
+    assert sm.apply(txn(1, ("set", "a", 1))) == 1
+    assert sm.apply(txn(2, ("get", "a"))) == 1
+    assert sm.apply(txn(3, ("del", "a"))) is True
+    assert sm.apply(txn(4, ("get", "a"))) is None
+    assert sm.apply(txn(5, ("del", "a"))) is False
+
+
+def test_incr_counter():
+    sm = KvStateMachine()
+    assert sm.apply(txn(1, ("incr", "c", 5))) == 5
+    assert sm.apply(txn(2, ("incr", "c", -2))) == 3
+
+
+def test_noop_and_none_op():
+    sm = KvStateMachine()
+    assert sm.apply(txn(1, ("noop",))) is None
+    assert sm.apply(Transaction("t2", None)) is None
+    assert sm.applied_count == 2
+
+
+def test_duplicate_txn_id_is_replay_protected():
+    sm = KvStateMachine()
+    sm.apply(txn(1, ("incr", "c", 1)))
+    sm.apply(txn(1, ("incr", "c", 1)))  # same id: ignored
+    assert sm.get("c") == 1
+    assert sm.applied_count == 1
+
+
+def test_unknown_op_raises():
+    sm = KvStateMachine()
+    with pytest.raises(ExecutionError):
+        sm.apply(txn(1, ("explode",)))
+
+
+def test_state_digest_deterministic_and_order_sensitive():
+    a, b = KvStateMachine(), KvStateMachine()
+    ops = [("set", "x", 1), ("set", "y", 2), ("incr", "x", 1)]
+    for i, op in enumerate(ops):
+        a.apply(txn(i, op))
+        b.apply(txn(i, op))
+    assert a.state_digest() == b.state_digest()
+    c = KvStateMachine()
+    c.apply(txn(0, ("set", "x", 99)))
+    assert c.state_digest() != a.state_digest()
+
+
+def test_len_counts_keys():
+    sm = KvStateMachine()
+    sm.apply(txn(1, ("set", "a", 1)))
+    sm.apply(txn(2, ("set", "b", 2)))
+    assert len(sm) == 2

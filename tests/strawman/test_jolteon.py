@@ -1,0 +1,114 @@
+"""Tests for the Jolteon-style leader SMR and the full straw-man system."""
+
+import pytest
+
+from repro.committees import ClanConfig
+from repro.crypto.signatures import Pki
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.smr.mempool import SyntheticWorkload
+from repro.strawman import JolteonNode, JolteonParams, StrawmanSystem
+
+N = 7
+DELTA = 0.05
+
+
+def build(n=N, timeout=2.0):
+    sim = Simulator()
+    net = Network(sim, n, latency=UniformLatencyModel(DELTA))
+    pki = Pki(n, seed=1)
+    commits = {i: [] for i in range(n)}
+    nodes = []
+    for i in range(n):
+        node = JolteonNode(
+            i, n, net, sim, pki, JolteonParams(view_timeout=timeout),
+            on_commit=lambda p, t, i=i: commits[i].append((p.view, t)),
+        )
+        net.register(i, lambda src, msg, node=node: node.on_message(src, msg))
+        nodes.append(node)
+    return sim, net, nodes, commits
+
+
+def test_chain_grows_and_commits():
+    sim, net, nodes, commits = build()
+    for node in nodes:
+        node.start()
+    sim.run(until=3.0, max_events=2_000_000)
+    assert nodes[0].view > 20
+    assert len(commits[0]) > 15
+    # Every replica commits the same view sequence.
+    sequences = {tuple(v for v, _ in commits[i]) for i in range(N)}
+    shared = min(len(commits[i]) for i in range(N))
+    prefixes = {tuple(v for v, _ in commits[i][:shared]) for i in range(N)}
+    assert len(prefixes) == 1
+
+
+def test_views_are_consecutive_in_good_case():
+    sim, net, nodes, commits = build()
+    for node in nodes:
+        node.start()
+    sim.run(until=2.0, max_events=2_000_000)
+    views = [v for v, _ in commits[0]]
+    assert views == list(range(views[0], views[0] + len(views)))
+
+
+def test_commit_latency_five_delta():
+    """Two-chain commit: a view's proposal commits ~5δ later at replicas."""
+    sim, net, nodes, commits = build()
+    for node in nodes:
+        node.start()
+    sim.run(until=3.0, max_events=2_000_000)
+    # View v proposed at (v-1)*2δ in the steady state; committed at +5δ.
+    samples = [(v, t) for v, t in commits[0] if 5 <= v <= 15]
+    for view, committed_at in samples:
+        proposed_at = (view - 1) * 2 * DELTA
+        assert committed_at - proposed_at == pytest.approx(5 * DELTA, rel=0.2)
+
+
+def test_crashed_leader_rotated_past():
+    sim, net, nodes, commits = build(timeout=0.5)
+    for node in nodes:
+        node.start()
+    net.crash(1)  # leader of views 2, 9, 16, ...
+    sim.run(until=12.0, max_events=4_000_000)
+    assert len(commits[0]) > 10
+    shared = min(len(commits[i]) for i in range(N) if i != 1)
+    prefixes = {
+        tuple(v for v, _ in commits[i][:shared]) for i in range(N) if i != 1
+    }
+    assert len(prefixes) == 1
+
+
+def test_strawman_end_to_end_commits_blocks():
+    workload = SyntheticWorkload(txns_per_proposal=10)
+    cfg = ClanConfig.single_clan(10, 5, seed=1)
+    system = StrawmanSystem(
+        cfg, latency=UniformLatencyModel(DELTA), make_block=workload.make_block, seed=1
+    )
+    system.start()
+    for k in range(5):
+        system.sim.schedule(0.5 + 0.3 * k, system.propose_blocks)
+    system.run(until=12.0, max_events=5_000_000)
+    committed = system.committed_everywhere()
+    assert len(committed) == 5 * len(cfg.block_proposers)
+
+
+def test_strawman_latency_at_least_eight_delta():
+    """The paper's §1/§8 argument: the sequential PoA pipeline costs ≥ 8δ."""
+    workload = SyntheticWorkload(txns_per_proposal=10)
+    cfg = ClanConfig.single_clan(10, 5, seed=1)
+    system = StrawmanSystem(
+        cfg, latency=UniformLatencyModel(DELTA), make_block=workload.make_block, seed=1
+    )
+    system.start()
+    for k in range(8):
+        system.sim.schedule(0.5 + 0.3 * k, system.propose_blocks)
+    system.run(until=15.0, max_events=5_000_000)
+    committed = system.committed_everywhere()
+    latencies = [
+        when - workload.blocks[digest][1] for digest, when in committed.items()
+    ]
+    avg = sum(latencies) / len(latencies)
+    assert avg >= 7.5 * DELTA
+    assert avg <= 14 * DELTA

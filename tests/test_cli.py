@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_stats_command(capsys):
+    code, out = run_cli(capsys, "stats", "150")
+    assert code == 0
+    assert "n=150, f=49, quorum=100" in out
+    assert "77" in out  # exact minimal clan at 1e-6
+
+
+def test_stats_with_exponent(capsys):
+    code, out = run_cli(capsys, "stats", "500", "--exponent", "9")
+    assert code == 0
+    assert "183" in out
+
+
+def test_run_command_small(capsys):
+    code, out = run_cli(
+        capsys, "run", "--protocol", "sailfish", "--n", "7",
+        "--load", "50", "--duration", "3",
+    )
+    assert code == 0
+    assert "kTPS" in out and "avg latency" in out
+
+
+def test_run_single_clan_defaults_clan_size(capsys):
+    code, out = run_cli(
+        capsys, "run", "--n", "8", "--load", "20", "--duration", "3"
+    )
+    assert code == 0
+    assert "single-clan" in out
+
+
+def test_sweep_command(capsys):
+    code, out = run_cli(
+        capsys, "sweep", "--protocol", "multi-clan", "--n", "8",
+        "--loads", "10,50", "--duration", "3",
+    )
+    assert code == 0
+    assert out.count("\n") >= 4  # title + header + rule + 2 rows
+
+
+def test_model_command(capsys):
+    code, out = run_cli(capsys, "model", "--n", "150")
+    assert code == 0
+    assert "sailfish" in out and "multi-clan" in out
+
+
+def test_figures_fast_targets(capsys):
+    for figure in ("table1", "sec62", "sec7", "fig5a-model"):
+        code, out = run_cli(capsys, "figures", figure)
+        assert code == 0, figure
+        assert "Reproduction data" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figures", "fig99"])

@@ -1,0 +1,66 @@
+"""Tests for the shared quorum arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.types import (
+    clan_max_faults,
+    clan_response_quorum,
+    max_faults,
+    quorum_size,
+    validate_tribe,
+)
+
+
+def test_known_values():
+    assert max_faults(4) == 1
+    assert max_faults(7) == 2
+    assert max_faults(150) == 49
+    assert quorum_size(148) == 99  # 148 = 3*49+1
+    assert quorum_size(150) == 100  # intersection-safe above 3f+1
+    assert clan_max_faults(80) == 39
+    assert clan_response_quorum(80) == 40
+
+
+def test_minimum_sizes():
+    assert max_faults(1) == 0
+    assert quorum_size(1) == 1
+    assert clan_max_faults(1) == 0
+    assert clan_response_quorum(1) == 1
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError):
+        max_faults(0)
+    with pytest.raises(ConfigError):
+        clan_max_faults(0)
+    with pytest.raises(ConfigError):
+        validate_tribe(10, f=4)  # f must be < n/3
+    with pytest.raises(ConfigError):
+        validate_tribe(10, f=-1)
+
+
+def test_validate_tribe_defaults_to_max():
+    assert validate_tribe(100) == 33
+    assert validate_tribe(100, 10) == 10
+
+
+@given(n=st.integers(min_value=1, max_value=10_000))
+def test_tribe_quorum_intersection_property(n):
+    """Two quorums always intersect in at least f+1 parties."""
+    f = max_faults(n)
+    quorum = quorum_size(n)
+    assert 3 * f < n
+    assert 2 * quorum - n >= f + 1
+
+
+@given(n_c=st.integers(min_value=1, max_value=10_000))
+def test_clan_honest_majority_property(n_c):
+    """f_c faults still leave a strict honest majority."""
+    f_c = clan_max_faults(n_c)
+    honest = n_c - f_c
+    assert honest > f_c
+    assert clan_response_quorum(n_c) == f_c + 1
+    assert honest >= clan_response_quorum(n_c)
