@@ -7,7 +7,6 @@ This ablation sweeps the clan size at n = 150 (paper scale, analytical model
 dishonest-majority probability and peak stable throughput.
 """
 
-import pytest
 
 from repro.bench.model import AnalyticalModel, PAPER_LOADS
 from repro.committees.hypergeometric import dishonest_majority_prob

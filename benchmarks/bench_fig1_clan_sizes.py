@@ -5,7 +5,6 @@ n = 100..1000), the §7 clan sizes at 1e-6, and checks the §1 intro example
 (n=500, f=166, n_c=184 → ~1e-9).
 """
 
-import pytest
 
 from repro.bench.experiments import fig1_clan_sizes, sec7_clan_sizes
 from repro.committees.hypergeometric import dishonest_majority_prob

@@ -64,9 +64,10 @@ def test_fig5_model_paper_scale(benchmark, figure):
     print()
     print(plot_throughput_latency(rows, title=f"{figure} (model, paper scale)"))
     stable = [r for r in rows if r["stable"]]
-    peak = lambda proto: max(
-        (r["throughput_ktps"] for r in stable if r["protocol"] == proto), default=0
-    )
+    def peak(proto):
+        return max(
+            (r["throughput_ktps"] for r in stable if r["protocol"] == proto), default=0
+        )
     assert peak("single-clan") > peak("sailfish")
     if figure == "fig5c":
         assert peak("multi-clan") > 1.8 * peak("single-clan")

@@ -12,7 +12,6 @@ supports:
   point entirely because of it).
 """
 
-import pytest
 
 from repro.bench.experiments import SIM_LOADS, fig6_load_sweep
 from repro.bench.plotting import plot_load_throughput

@@ -8,7 +8,7 @@ verifies that (and quantifies any drift), plus shows duty actually rotates.
 
 import pytest
 
-from repro.committees import ClanConfig, ClanSchedule
+from repro.committees import ClanSchedule
 from repro.consensus import Deployment, ProtocolParams
 from repro.net.latency import UniformLatencyModel
 from repro.smr.mempool import SyntheticWorkload

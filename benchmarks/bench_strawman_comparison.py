@@ -11,7 +11,6 @@ This bench runs both architectures on identical networks and clans and
 measures block commit latency in δ units.
 """
 
-import pytest
 
 from repro.committees import ClanConfig
 from repro.consensus import Deployment, ProtocolParams

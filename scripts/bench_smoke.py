@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf smoke benchmark: one small deterministic run, gated against a baseline.
+
+Runs a scaled-down single-clan configuration (< 60 s wall) and emits
+``BENCH_smoke.json`` with both the *simulated* metrics (deterministic across
+machines — the regression gate) and the wall-clock time (informational only;
+CI runners are too noisy to gate on).
+
+Usage::
+
+    python scripts/bench_smoke.py --out BENCH_smoke.json          # just measure
+    python scripts/bench_smoke.py --check                         # gate vs baseline
+    python scripts/bench_smoke.py --update-baseline               # refresh baseline
+
+``--check`` exits non-zero if simulated throughput drops more than
+``--tolerance`` (default 20%) below ``benchmarks/baselines/smoke.json``.
+Because the simulation is deterministic, any change here is a real behavioral
+change in the protocol stack, not machine noise.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.runner import ExperimentConfig, run_experiment  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baselines", "smoke.json")
+
+#: The smoke configuration: small enough for <60 s wall anywhere, big enough
+#: to exercise RBC, commit, and the NIC queueing model.
+SMOKE_CONFIG = ExperimentConfig(
+    protocol="single-clan",
+    n=12,
+    clan_size=6,
+    txns_per_proposal=250,
+    bandwidth_bps=400e6,
+    duration=6.0,
+    warmup=2.0,
+)
+
+
+def run_smoke() -> dict:
+    start = time.perf_counter()
+    metrics = run_experiment(SMOKE_CONFIG)
+    wall = time.perf_counter() - start
+    return {
+        "config": {
+            "protocol": SMOKE_CONFIG.protocol,
+            "n": SMOKE_CONFIG.n,
+            "clan_size": SMOKE_CONFIG.clan_size,
+            "txns_per_proposal": SMOKE_CONFIG.txns_per_proposal,
+            "duration": SMOKE_CONFIG.duration,
+        },
+        # Deterministic simulated results: the regression gate.
+        "throughput_tps": round(metrics.throughput_tps, 2),
+        "avg_latency_s": round(metrics.avg_latency_s, 4),
+        "p95_latency_s": round(metrics.p95_latency_s, 4),
+        "committed_txns": metrics.committed_txns,
+        "rounds": metrics.rounds,
+        # Informational only: varies with the machine.
+        "wall_s": round(wall, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_smoke.json", help="result JSON path")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if throughput regresses beyond --tolerance vs the baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured result to the baseline path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_smoke()
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"smoke: {result['throughput_tps'] / 1000.0:.2f} kTPS, "
+        f"avg latency {result['avg_latency_s']:.3f} s, "
+        f"{result['committed_txns']} txns in {result['wall_s']:.2f} s wall"
+    )
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        baseline = dict(result)
+        baseline.pop("wall_s", None)  # machine-dependent; keep baseline portable
+        with open(args.baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    if args.check:
+        if not os.path.exists(args.baseline):
+            print(f"FAIL: baseline {args.baseline} missing", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        floor = baseline["throughput_tps"] * (1.0 - args.tolerance)
+        measured = result["throughput_tps"]
+        if measured < floor:
+            print(
+                f"FAIL: throughput {measured:.0f} TPS < floor {floor:.0f} TPS "
+                f"(baseline {baseline['throughput_tps']:.0f} TPS "
+                f"- {args.tolerance:.0%} tolerance)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: throughput {measured:.0f} TPS >= floor {floor:.0f} TPS "
+            f"(baseline {baseline['throughput_tps']:.0f} TPS)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

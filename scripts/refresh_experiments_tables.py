@@ -9,7 +9,6 @@ paper-vs-measured record:
 
 import csv
 import os
-import sys
 
 RESULTS = os.environ.get("REPRO_RESULTS_DIR", "results")
 

@@ -15,7 +15,7 @@ protocols most nodes never see block bodies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..consensus.deployment import Deployment
 from ..errors import ConfigError
@@ -36,6 +36,10 @@ class RunMetrics:
     window_s: float
     total_bytes: int
     total_messages: int
+    #: Per-message-kind traffic; empty unless the run tracked kinds
+    #: (``Network(track_kinds=True)`` / ``ExperimentConfig.track_kinds``).
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
 
     def row(self) -> dict:
         return {
@@ -98,6 +102,16 @@ def measure_run(
     latencies.sort()
     window = end - warmup
     avg = sum(latencies) / len(latencies) if latencies else float("nan")
+    network = deployment.network
+    # Per-kind counters are only populated when the network tracks kinds;
+    # guard the read so un-tracked runs report empty dicts, not stale
+    # defaultdict state.
+    if network.track_kinds:
+        bytes_by_kind = dict(network.stats.bytes_by_kind)
+        messages_by_kind = dict(network.stats.messages_by_kind)
+    else:
+        bytes_by_kind = {}
+        messages_by_kind = {}
     return RunMetrics(
         throughput_tps=committed_txns / window,
         avg_latency_s=avg,
@@ -109,4 +123,6 @@ def measure_run(
         window_s=window,
         total_bytes=deployment.network.stats.total_bytes,
         total_messages=deployment.network.stats.total_messages,
+        bytes_by_kind=bytes_by_kind,
+        messages_by_kind=messages_by_kind,
     )

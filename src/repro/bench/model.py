@@ -137,7 +137,6 @@ class AnalyticalModel:
             + sizes.SIGNATURE_SIZE
         )
         ctrl_msg = sizes.HEADER_SIZE + sizes.HASH_SIZE + sizes.SIGNATURE_SIZE
-        control = _CTRL_MSGS_PER_ROUND * n * n * ctrl_msg / n  # per node: 2n msgs
         control_out = _CTRL_MSGS_PER_ROUND * n * ctrl_msg * n  # 2n msgs to n peers
 
         # Effective bandwidth under fan-in contention: a clan member receives

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Iterable
 
 
 def format_table(rows: list[dict], title: str = "") -> str:

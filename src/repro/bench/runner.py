@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..committees.config import ClanConfig
 from ..consensus.deployment import Deployment
@@ -31,6 +31,8 @@ class ExperimentConfig:
         leader_timeout: the stability knob (rounds outlasting it thrash).
         cpu_per_message: receive-side per-message processing cost; models the
             crypto/storage latency growth with n reported in §7.
+        track_kinds: collect per-message-kind traffic stats (surfaced on
+            :class:`~repro.bench.metrics.RunMetrics`).
     """
 
     protocol: str
@@ -45,6 +47,7 @@ class ExperimentConfig:
     cpu_per_message: float = 0.0
     seed: int = 7
     jitter: float = 0.05
+    track_kinds: bool = False
 
     def clan_config(self) -> ClanConfig:
         if self.protocol == "sailfish":
@@ -58,12 +61,20 @@ class ExperimentConfig:
         raise ConfigError(f"unknown protocol {self.protocol!r}")
 
 
-def run_experiment(config: ExperimentConfig, max_events: int | None = None) -> RunMetrics:
+def run_experiment(
+    config: ExperimentConfig,
+    max_events: int | None = None,
+    tracer=None,
+) -> RunMetrics:
     """Run one configuration end to end and measure it.
 
     Signature verification is disabled (all-honest measurement runs, as in
     the paper's throughput experiments); the CPU model still charges
     processing time in *simulated* time.
+
+    Args:
+        tracer: optional :class:`repro.obs.Tracer`; threads through the whole
+            stack, so any benchmark gains per-stage breakdowns by passing one.
     """
     workload = SyntheticWorkload(txns_per_proposal=config.txns_per_proposal)
     params = ProtocolParams(
@@ -79,6 +90,8 @@ def run_experiment(config: ExperimentConfig, max_events: int | None = None) -> R
         cpu=cpu,
         make_block=workload.make_block,
         seed=config.seed,
+        tracer=tracer,
+        track_kinds=config.track_kinds,
     )
     deployment.start()
     deployment.run(until=config.duration, max_events=max_events)

@@ -7,6 +7,8 @@ Commands:
 * ``sweep`` — a load sweep (one Fig. 5-style curve) for one protocol.
 * ``model`` — paper-scale analytical curves.
 * ``figures`` — regenerate a figure's data series (same code as the benches).
+* ``trace`` — run an instrumented experiment, export a JSONL trace, and print
+  the per-stage latency report (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ from .bench.experiments import (
 from .bench.model import AnalyticalModel, PAPER_LOADS
 from .bench.reporting import format_table
 from .bench.runner import ExperimentConfig, run_experiment
+from .bench.trace_report import format_trace_report
+from .obs import Tracer
 from .committees.hypergeometric import dishonest_majority_prob, min_clan_size
 from .committees.multiclan import equal_partition_prob, max_equal_clans
 from .types import max_faults, quorum_size
@@ -141,6 +145,69 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_fig5_smoke(tracer: Tracer) -> str:
+    """A scaled-down Fig. 5 point (single-clan) under full instrumentation."""
+    config = ExperimentConfig(
+        protocol="single-clan",
+        n=12,
+        clan_size=6,
+        txns_per_proposal=250,
+        bandwidth_bps=400e6,
+        duration=4.0,
+        warmup=1.0,
+    )
+    metrics = run_experiment(config, tracer=tracer)
+    return (
+        f"single-clan n=12/6 load=250: {metrics.throughput_tps / 1000.0:.2f} kTPS, "
+        f"avg latency {metrics.avg_latency_s:.3f} s"
+    )
+
+
+def _trace_smr_smoke(tracer: Tracer) -> str:
+    """An end-to-end SMR run with clients, capturing client-observed latency."""
+    from .committees.config import ClanConfig
+    from .smr.runtime import SmrRuntime
+
+    runtime = SmrRuntime(ClanConfig.single_clan(10, 5, seed=1), tracer=tracer)
+    client = runtime.new_client("trace-client")
+    runtime.start()
+    for _ in range(20):
+        runtime.submit(client, ("incr", "ctr", 1))
+    runtime.run(until=6.0, max_events=10_000_000)
+    return (
+        f"smr single-clan n=10/5: {client.accepted_count()}/20 transactions "
+        "accepted by the client"
+    )
+
+
+#: Instrumented experiments runnable via ``python -m repro trace <name>``.
+TRACE_EXPERIMENTS = {
+    "fig5_smoke": _trace_fig5_smoke,
+    "smr_smoke": _trace_smr_smoke,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    producer = TRACE_EXPERIMENTS.get(args.experiment)
+    if producer is None:
+        print(
+            f"unknown trace experiment {args.experiment!r}; "
+            f"choose from {sorted(TRACE_EXPERIMENTS)}"
+        )
+        return 2
+    tracer = Tracer(capacity=args.capacity)
+    summary = producer(tracer)
+    if args.out:
+        tracer.export_jsonl(args.out)
+    print(format_trace_report(tracer))
+    print()
+    print(f"{summary}")
+    print(f"trace records: {len(tracer)} kept, {tracer.dropped} dropped")
+    if args.out:
+        print(f"trace written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Clan-based DAG BFT SMR reproduction toolkit"
@@ -180,6 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", help="regenerate a paper artifact's data")
     figures.add_argument("figure", choices=sorted(_FIGURES))
     figures.set_defaults(fn=_cmd_figures)
+
+    trace = sub.add_parser(
+        "trace", help="run an instrumented experiment and print a latency report"
+    )
+    trace.add_argument("experiment", choices=sorted(TRACE_EXPERIMENTS))
+    trace.add_argument("--out", default=None, help="write the JSONL trace here")
+    trace.add_argument(
+        "--capacity",
+        type=int,
+        default=1_000_000,
+        help="trace ring-buffer capacity (oldest records drop beyond this)",
+    )
+    trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from ..dag.block import Block
 from ..dag.vertex import Vertex
 from ..errors import ConsensusError
-from ..types import NodeId, Round
+from ..types import Round
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .deployment import Deployment

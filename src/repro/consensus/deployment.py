@@ -18,6 +18,7 @@ from ..net.adversary import DelayAdversary
 from ..net.cpu import CpuModel
 from ..net.latency import LatencyModel, UniformLatencyModel
 from ..net.network import Network
+from ..obs.tracer import ensure_tracer
 from ..sim.scheduler import Simulator
 from ..types import NodeId, Round
 from .byzantine import ByzantineBehavior
@@ -44,11 +45,17 @@ class Deployment:
         crashed: set[NodeId] | None = None,
         byzantine: dict[NodeId, ByzantineBehavior] | None = None,
         clan_schedule=None,
+        tracer=None,
+        track_kinds: bool = False,
     ) -> None:
         self.cfg = clan_cfg
         self.clan_schedule = clan_schedule
         self.params = params if params is not None else ProtocolParams()
-        self.sim = Simulator()
+        self.tracer = ensure_tracer(tracer)
+        self.sim = Simulator(tracer=tracer)
+        # The deployment's simulator is the canonical time source: bind it so
+        # records created by any layer carry simulated timestamps.
+        self.tracer.set_clock(lambda: self.sim.now)
         n = clan_cfg.n
         self.network = Network(
             self.sim,
@@ -57,6 +64,8 @@ class Deployment:
             bandwidth_bps=bandwidth_bps,
             adversary=adversary,
             cpu=cpu,
+            track_kinds=track_kinds,
+            tracer=tracer,
         )
         self.pki = Pki(n, seed=seed)
         self.schedule = LeaderSchedule(n, seed=seed)

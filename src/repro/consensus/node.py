@@ -63,6 +63,7 @@ class SailfishNode:
         on_ordered: OrderedHook | None = None,
         on_block_ready: Callable[["SailfishNode", Block], None] | None = None,
         clan_schedule=None,
+        tracer=None,
     ) -> None:
         self.node_id = node_id
         self.cfg = clan_cfg
@@ -79,6 +80,8 @@ class SailfishNode:
         self.make_block = make_block
         self.on_ordered = on_ordered
         self.on_block_ready = on_block_ready
+        self.tracer = tracer if tracer is not None else network.tracer
+        self._round_entered_at: float | None = None
 
         self.store = DagStore(clan_cfg.n)
         self.ordering = OrderingEngine(self.store)
@@ -95,6 +98,7 @@ class SailfishNode:
             verify_signatures=params.verify_signatures,
             retry_timeout=params.retry_timeout,
             schedule=clan_schedule,
+            tracer=self.tracer,
         )
 
         self.round: Round = 0
@@ -127,6 +131,14 @@ class SailfishNode:
         self._enter_round(1)
 
     def _enter_round(self, round_: Round) -> None:
+        if self.tracer.enabled:
+            now = self.sim.now
+            if self._round_entered_at is not None and round_ > 1:
+                self.tracer.span(
+                    "consensus.round", start=self._round_entered_at, end=now,
+                    node=self.node_id, round=round_ - 1,
+                )
+            self._round_entered_at = now
         self.round = round_
         if self.params.max_rounds and round_ > self.params.max_rounds:
             self._timer.cancel()
@@ -315,13 +327,20 @@ class SailfishNode:
                 chain.append(candidate)
                 current = candidate
         now = self.sim.now
+        ordered = 0
         for leader_vertex in reversed(chain):
             newly = self.ordering.order_leader(leader_vertex)
             self.committed_leaders.append(leader_vertex)
+            ordered += len(newly)
             for vertex in newly:
                 self.ordered_log.append((vertex, now))
                 if self.on_ordered is not None:
                     self.on_ordered(self, vertex, now)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "consensus.commit", node=self.node_id, time=now,
+                anchor_round=anchor.round, depth=len(chain), ordered=ordered,
+            )
         self.last_committed_round = anchor.round
 
     # -- round advancement ----------------------------------------------------------------

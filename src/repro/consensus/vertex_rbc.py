@@ -69,6 +69,9 @@ class VertexInstance:
     echo_sigs: dict[bytes, dict[NodeId, object]] = field(default_factory=dict)
     readies: dict[bytes, set[NodeId]] = field(default_factory=dict)
     conflicting: set[bytes] = field(default_factory=set)
+    # Phase timestamps, populated only when tracing is enabled.
+    val_at: float | None = None
+    echo_at: float | None = None
 
 
 class VertexRbc:
@@ -97,6 +100,7 @@ class VertexRbc:
         verify_signatures: bool = True,
         retry_timeout: float = 0.25,
         schedule=None,
+        tracer=None,
     ) -> None:
         if mode not in ("two-round", "bracha"):
             raise ConsensusError(f"unknown RBC mode {mode!r}")
@@ -110,6 +114,7 @@ class VertexRbc:
         self.schedule = schedule
         self.network = network
         self.sim = sim
+        self.tracer = tracer if tracer is not None else network.tracer
         self.pki = pki
         self._key = pki.key(node_id)
         self.on_first_val = on_first_val
@@ -163,6 +168,11 @@ class VertexRbc:
         """Disseminate this node's vertex (and block, if it proposes blocks)."""
         if vertex.source != self.node_id:
             raise ConsensusError("can only broadcast own vertices")
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "consensus.propose", node=self.node_id, round=vertex.round,
+                has_block=block is not None, time=self.sim.now,
+            )
         if (block is None) != (vertex.block_digest is None):
             raise ConsensusError("vertex.block_digest must match block presence")
         if block is not None and block.payload_digest() != vertex.block_digest:
@@ -234,6 +244,8 @@ class VertexRbc:
                 if msg.signature.message_digest != expected:
                     return
         state = self.instance(origin, vertex.round)
+        if self.tracer.enabled and state.val_at is None:
+            state.val_at = self.sim.now
         if self.mode == "two-round" and msg.signature is not None:
             # Signed VALs are accountability material: two conflicting ones
             # from the same (origin, round) yield a transferable fraud proof.
@@ -267,6 +279,14 @@ class VertexRbc:
         if needs_block and state.block is None:
             return
         state.echoed = True
+        if self.tracer.enabled:
+            now = self.sim.now
+            state.echo_at = now
+            self.tracer.span(
+                "rbc.val_to_echo",
+                start=state.val_at if state.val_at is not None else now,
+                end=now, node=self.node_id, origin=origin, round=round_,
+            )
         vdigest = state.first_digest
         signature = None
         if self.mode == "two-round":
@@ -399,6 +419,17 @@ class VertexRbc:
             return
         if not state.vertex_delivered:
             state.vertex_delivered = True
+            if self.tracer.enabled:
+                now = self.sim.now
+                tr = self.tracer
+                start = state.echo_at
+                if start is None:
+                    start = state.val_at if state.val_at is not None else now
+                tr.span("rbc.echo_to_deliver", start=start, end=now,
+                        node=self.node_id, origin=origin, round=round_)
+                tr.span("rbc.e2e",
+                        start=state.val_at if state.val_at is not None else now,
+                        end=now, node=self.node_id, origin=origin, round=round_)
             self.on_vertex(state.vertex)
         if state.vertex.block_digest is None or not self._serves_block(
             origin, round_
@@ -408,6 +439,13 @@ class VertexRbc:
             return
         if state.block is not None:
             state.block_delivered = True
+            if self.tracer.enabled:
+                now = self.sim.now
+                self.tracer.span(
+                    "rbc.block_e2e",
+                    start=state.val_at if state.val_at is not None else now,
+                    end=now, node=self.node_id, origin=origin, round=round_,
+                )
             self.on_block(state.block)
         else:
             self._prefetch_block(origin, round_, state.quorum_digest, state)

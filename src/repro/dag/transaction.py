@@ -10,7 +10,7 @@ Two flavours share one type:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..crypto.hashing import digest

@@ -19,6 +19,7 @@ from collections import defaultdict
 from typing import Callable, Iterable
 
 from ..errors import NetworkError
+from ..obs.tracer import NULL_TRACER
 from ..sim.scheduler import Simulator
 from ..types import NodeId
 from .adversary import DelayAdversary
@@ -62,6 +63,7 @@ class Network:
         adversary: DelayAdversary | None = None,
         cpu: CpuModel | None = None,
         track_kinds: bool = False,
+        tracer=None,
     ) -> None:
         if n < 1:
             raise NetworkError(f"network needs at least one node, got n={n}")
@@ -76,6 +78,7 @@ class Network:
         self.cpu = cpu
         self.stats = NetworkStats(n)
         self._track_kinds = track_kinds
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._handlers: list[Handler | None] = [None] * n
         self._nic_free_at = [0.0] * n
         self._cpu_free_at = [0.0] * n
@@ -98,6 +101,15 @@ class Network:
     def is_crashed(self, node_id: NodeId) -> bool:
         return self._crashed[node_id]
 
+    @property
+    def track_kinds(self) -> bool:
+        """Whether per-message-kind stats are being collected."""
+        return self._track_kinds
+
+    @property
+    def tracer(self):
+        return self._tracer
+
     def send(self, src: NodeId, dst: NodeId, msg: Message) -> None:
         """Send one message; delivery is scheduled on the simulator."""
         self._transmit(src, (dst,), msg)
@@ -117,6 +129,9 @@ class Network:
 
     def _transmit(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
         if self._crashed[src]:
+            return
+        if self._tracer.enabled:
+            self._transmit_traced(src, dsts, msg)
             return
         sim = self.sim
         now = sim.now
@@ -147,12 +162,56 @@ class Network:
             sim.post(arrive, self._deliver, (src, dst, msg, size))
         self._nic_free_at[src] = clock
 
-    def _deliver(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+    def _transmit_traced(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
+        """Tracing twin of :meth:`_transmit`.
+
+        Identical delivery semantics, but each hop carries a metadata tuple
+        ``(sent_at, nic_wait, tx, prop)`` so :meth:`_deliver` can emit the
+        full per-hop latency decomposition of the module docstring:
+        NIC-queue wait → serialization → propagation → CPU-queue wait → CPU.
+        """
+        sim = self.sim
+        now = sim.now
+        size = msg.wire_size()
+        stats = self.stats
+        if self._track_kinds:
+            kind = msg.kind()
+        per_byte = self._bytes_per_sec
+        nic_free = self._nic_free_at[src]
+        clock = now if now > nic_free else nic_free
+        for dst in dsts:
+            if not 0 <= dst < self.n:
+                raise NetworkError(f"destination {dst} out of range (n={self.n})")
+            stats.bytes_sent[src] += size
+            stats.messages_sent[src] += 1
+            if self._track_kinds:
+                stats.bytes_by_kind[kind] += size
+                stats.messages_by_kind[kind] += 1
+            if dst == src:
+                sim.post(now, self._deliver, (src, dst, msg, size, (now, 0.0, 0.0, 0.0)))
+                continue
+            nic_wait = clock - now
+            tx = 0.0
+            if per_byte is not None:
+                tx = size / per_byte
+                clock += tx
+            prop = self.latency.delay(src, dst)
+            prop += self.adversary.extra_delay(src, dst, msg, now)
+            arrive = clock + prop
+            sim.post(arrive, self._deliver, (src, dst, msg, size, (now, nic_wait, tx, prop)))
+        self._nic_free_at[src] = clock
+
+    def _deliver(
+        self, src: NodeId, dst: NodeId, msg: Message, size: int, meta: tuple | None = None
+    ) -> None:
         if self._crashed[dst]:
             return
         handler = self._handlers[dst]
         if handler is None:
             return
+        cpu_wait = 0.0
+        cost = 0.0
+        done = None
         if self.cpu is not None:
             cost = self.cpu.cost(msg)
             if cost > 0.0:
@@ -160,10 +219,28 @@ class Network:
                 start = self._cpu_free_at[dst]
                 if start < now:
                     start = now
+                cpu_wait = start - now
                 done = start + cost
                 self._cpu_free_at[dst] = done
-                self.sim.post(done, self._handle, (src, dst, msg, size))
-                return
+        if meta is not None and self._tracer.enabled:
+            sent_at, nic_wait, tx, prop = meta
+            self._tracer.span(
+                "net.hop",
+                start=sent_at,
+                end=done if done is not None else self.sim.now,
+                node=dst,
+                src=src,
+                kind=msg.kind(),
+                size=size,
+                nic_wait=nic_wait,
+                tx=tx,
+                prop=prop,
+                cpu_wait=cpu_wait,
+                cpu=cost,
+            )
+        if done is not None:
+            self.sim.post(done, self._handle, (src, dst, msg, size))
+            return
         self._handle(src, dst, msg, size)
 
     def _handle(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:

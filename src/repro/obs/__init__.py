@@ -1,0 +1,34 @@
+"""Zero-dependency observability: structured tracing and metrics.
+
+The layer has two halves:
+
+* :class:`~repro.obs.tracer.Tracer` — an event bus collecting typed
+  span/counter/gauge records into a bounded ring buffer, exportable as JSONL.
+* :class:`~repro.obs.tracer.NullTracer` — the disabled implementation; every
+  instrumented hot path pays exactly one ``tracer.enabled`` attribute check.
+
+Every layer of the stack (simulator, network, RBC, consensus, SMR) accepts an
+optional tracer; ``python -m repro trace <experiment>`` runs one experiment
+with tracing on and :mod:`repro.bench.trace_report` summarizes the result.
+"""
+
+from .records import (
+    CounterRecord,
+    GaugeRecord,
+    SpanRecord,
+    TraceRecord,
+    record_from_dict,
+)
+from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+
+__all__ = [
+    "CounterRecord",
+    "GaugeRecord",
+    "SpanRecord",
+    "TraceRecord",
+    "record_from_dict",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "ensure_tracer",
+]

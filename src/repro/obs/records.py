@@ -1,0 +1,127 @@
+"""Typed trace records and their JSONL wire format.
+
+Three record kinds cover the instrumentation needs of the stack:
+
+* :class:`SpanRecord` — a named interval ``[start, end]`` in simulated time
+  (an RBC phase, a consensus round, one network hop).
+* :class:`CounterRecord` — a named point event with a value (a commit, a
+  client-observed latency sample).
+* :class:`GaugeRecord` — a named sampled level (queue depth, events/s).
+
+Records serialize to one JSON object per line; ``attrs`` carries free-form
+per-record annotations (message kind, node ids, per-hop decomposition).  The
+schema is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Union
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """A completed interval in simulated time."""
+
+    TYPE: ClassVar[str] = "span"
+
+    name: str
+    start: float
+    end: float
+    node: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.TYPE,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "node": self.node,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CounterRecord:
+    """A point event carrying an additive value."""
+
+    TYPE: ClassVar[str] = "counter"
+
+    name: str
+    time: float
+    value: float = 1.0
+    node: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.TYPE,
+            "name": self.name,
+            "time": self.time,
+            "value": self.value,
+            "node": self.node,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class GaugeRecord:
+    """A sampled level (last-value-wins semantics)."""
+
+    TYPE: ClassVar[str] = "gauge"
+
+    name: str
+    time: float
+    value: float
+    node: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.TYPE,
+            "name": self.name,
+            "time": self.time,
+            "value": self.value,
+            "node": self.node,
+            "attrs": self.attrs,
+        }
+
+
+TraceRecord = Union[SpanRecord, CounterRecord, GaugeRecord]
+
+_DECODERS = {
+    "span": lambda d: SpanRecord(
+        name=d["name"],
+        start=d["start"],
+        end=d["end"],
+        node=d.get("node"),
+        attrs=d.get("attrs") or {},
+    ),
+    "counter": lambda d: CounterRecord(
+        name=d["name"],
+        time=d["time"],
+        value=d.get("value", 1.0),
+        node=d.get("node"),
+        attrs=d.get("attrs") or {},
+    ),
+    "gauge": lambda d: GaugeRecord(
+        name=d["name"],
+        time=d["time"],
+        value=d["value"],
+        node=d.get("node"),
+        attrs=d.get("attrs") or {},
+    ),
+}
+
+
+def record_from_dict(data: dict[str, Any]) -> TraceRecord:
+    """Decode one JSONL object back into its typed record."""
+    decoder = _DECODERS.get(data.get("type"))
+    if decoder is None:
+        raise ValueError(f"unknown trace record type {data.get('type')!r}")
+    return decoder(data)

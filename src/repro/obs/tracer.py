@@ -1,0 +1,233 @@
+"""The tracer event bus and its disabled twin.
+
+Design constraints (from the benchmark harness):
+
+* **Disabled cost**: instrumented code guards every emission site with
+  ``if tracer.enabled:`` — a single attribute check against a class-level
+  ``False`` on :class:`NullTracer`.  No record objects, no dict churn.
+* **Bounded memory**: records land in a ring buffer (``collections.deque``
+  with ``maxlen``); a multi-minute simulated run cannot OOM the process.
+  ``dropped`` reports how many old records were evicted.
+* **Deterministic time**: the tracer reads *simulated* time from a bound
+  clock (``sim.now``), so traces of the same seeded run are reproducible
+  except for explicit wall-clock attributes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from .records import (
+    CounterRecord,
+    GaugeRecord,
+    SpanRecord,
+    TraceRecord,
+    record_from_dict,
+)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths test ``tracer.enabled`` (class attribute, always ``False``)
+    before building any record arguments, so the disabled overhead is one
+    attribute check per instrumented site.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def counter(self, name: str, value: float = 1.0, node: int | None = None,
+                time: float | None = None, **attrs: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, node: int | None = None,
+              time: float | None = None, **attrs: Any) -> None:
+        pass
+
+    def span(self, name: str, start: float, end: float | None = None,
+             node: int | None = None, **attrs: Any) -> None:
+        pass
+
+    def begin(self, name: str, key: Any = None, node: int | None = None) -> None:
+        pass
+
+    def end(self, name: str, key: Any = None, node: int | None = None,
+            **attrs: Any) -> None:
+        pass
+
+    def records(self) -> list[TraceRecord]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled tracer; components store this when no tracer is supplied.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Normalize an optional tracer argument to a usable instance."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+class Tracer:
+    """Collects typed trace records into a bounded ring buffer.
+
+    Args:
+        clock: zero-argument callable returning the current (simulated)
+            time; bound late via :meth:`set_clock` when the simulator is
+            created after the tracer (the CLI path).
+        capacity: ring-buffer size; oldest records are evicted beyond it.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 1_000_000,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self._clock = clock
+        self._buffer: deque[TraceRecord] = deque(maxlen=capacity)
+        self._emitted = 0
+        #: Open begin()/end() span bookkeeping: (name, key, node) -> start.
+        self._open: dict[tuple, float] = {}
+
+    # -- time ----------------------------------------------------------------
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind (or rebind) the time source; deployments bind ``sim.now``."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- emission ------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1.0, node: int | None = None,
+                time: float | None = None, **attrs: Any) -> None:
+        self._emit(CounterRecord(
+            name=name,
+            time=self.now() if time is None else time,
+            value=value,
+            node=node,
+            attrs=attrs,
+        ))
+
+    def gauge(self, name: str, value: float, node: int | None = None,
+              time: float | None = None, **attrs: Any) -> None:
+        self._emit(GaugeRecord(
+            name=name,
+            time=self.now() if time is None else time,
+            value=value,
+            node=node,
+            attrs=attrs,
+        ))
+
+    def span(self, name: str, start: float, end: float | None = None,
+             node: int | None = None, **attrs: Any) -> None:
+        self._emit(SpanRecord(
+            name=name,
+            start=start,
+            end=self.now() if end is None else end,
+            node=node,
+            attrs=attrs,
+        ))
+
+    def begin(self, name: str, key: Any = None, node: int | None = None) -> None:
+        """Open a keyed span at the current time (idempotent per key)."""
+        self._open.setdefault((name, key, node), self.now())
+
+    def end(self, name: str, key: Any = None, node: int | None = None,
+            **attrs: Any) -> None:
+        """Close a keyed span; silently ignored if it was never opened."""
+        start = self._open.pop((name, key, node), None)
+        if start is not None:
+            self.span(name, start, node=node, **attrs)
+
+    def _emit(self, record: TraceRecord) -> None:
+        self._emitted += 1
+        self._buffer.append(record)
+
+    # -- inspection ----------------------------------------------------------
+
+    def records(self) -> list[TraceRecord]:
+        return list(self._buffer)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [r.to_dict() for r in self._buffer]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def emitted(self) -> int:
+        """Total records emitted (including any evicted from the ring)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the ring buffer because it was full."""
+        return self._emitted - len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._open.clear()
+        self._emitted = 0
+
+    # -- JSONL ---------------------------------------------------------------
+
+    def write_jsonl(self, fh) -> int:
+        """Write all buffered records as JSON lines; returns record count."""
+        count = 0
+        for record in self._buffer:
+            fh.write(json.dumps(record.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+        return count
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the trace to ``path``; returns the number of records."""
+        with open(path, "w", encoding="utf-8") as fh:
+            return self.write_jsonl(fh)
+
+    @staticmethod
+    def read_jsonl(path: str) -> list[TraceRecord]:
+        """Load a JSONL trace back into typed records."""
+        records: list[TraceRecord] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(record_from_dict(json.loads(line)))
+        return records
+
+    @staticmethod
+    def read_jsonl_dicts(path: str) -> list[dict[str, Any]]:
+        """Load a JSONL trace as raw dicts (the report path)."""
+        rows: list[dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+
+
+def iter_spans(records: Iterable[TraceRecord], name: str | None = None):
+    """Yield span records, optionally filtered by name (test/report helper)."""
+    for record in records:
+        if isinstance(record, SpanRecord) and (name is None or record.name == name):
+            yield record

@@ -139,6 +139,11 @@ class InstanceState:
     # Equivocation bookkeeping: extra digests seen in conflicting VALs (tests
     # and slashing logic read this; the protocol itself honours only the first).
     conflicting: set[bytes] = field(default_factory=set)
+    # Phase timestamps, populated only when tracing is enabled: first VAL
+    # seen, own ECHO sent, own READY (or certificate) sent.
+    val_at: float | None = None
+    echo_at: float | None = None
+    ready_at: float | None = None
 
 
 class RbcProtocol:
@@ -155,11 +160,15 @@ class RbcProtocol:
         network: Network,
         on_deliver: DeliverFn,
         register: bool = True,
+        tracer=None,
     ) -> None:
         self.node_id = node_id
         self.membership = membership
         self.network = network
         self.on_deliver = on_deliver
+        #: Defaults to the network's tracer so RBC spans and net.hop records
+        #: land in the same trace without extra wiring.
+        self.tracer = tracer if tracer is not None else network.tracer
         self.instances: dict[InstanceKey, InstanceState] = {}
         self.deliveries: list[Delivery] = []
         if register:
@@ -197,7 +206,31 @@ class RbcProtocol:
         payload = state.payloads.get(digest_)
         delivery = Delivery(origin, round_, payload, digest_, payload is not None)
         self.deliveries.append(delivery)
+        if self.tracer.enabled:
+            self._trace_delivery(origin, round_, state)
         self.on_deliver(delivery)
+
+    def _trace_delivery(
+        self, origin: NodeId, round_: Round, state: InstanceState
+    ) -> None:
+        """Emit the tail phase span(s) for a completed instance.
+
+        Bracha-style instances produce ``rbc.ready_to_deliver``; two-round
+        instances (no READY phase) produce ``rbc.echo_to_deliver``.  Every
+        instance produces ``rbc.e2e`` from the first VAL (or from delivery
+        itself when the local node never saw a VAL, e.g. pull-completed).
+        """
+        now = self.tracer.now()
+        tr = self.tracer
+        if state.ready_at is not None:
+            tr.span("rbc.ready_to_deliver", start=state.ready_at, end=now,
+                    node=self.node_id, origin=origin, round=round_)
+        elif state.echo_at is not None:
+            tr.span("rbc.echo_to_deliver", start=state.echo_at, end=now,
+                    node=self.node_id, origin=origin, round=round_)
+        start = state.val_at if state.val_at is not None else now
+        tr.span("rbc.e2e", start=start, end=now,
+                node=self.node_id, origin=origin, round=round_)
 
     def delivered(self, origin: NodeId, round_: Round) -> bool:
         state = self.instances.get((origin, round_))

@@ -27,6 +27,7 @@ class BrachaRbc(TribeBrachaRbc):
         sim: Simulator,
         on_deliver: DeliverFn,
         register: bool = True,
+        tracer=None,
     ) -> None:
         super().__init__(
             node_id,
@@ -35,4 +36,5 @@ class BrachaRbc(TribeBrachaRbc):
             sim,
             on_deliver,
             register=register,
+            tracer=tracer,
         )

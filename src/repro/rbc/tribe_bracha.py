@@ -57,8 +57,11 @@ class TribeBrachaRbc(RbcProtocol):
         early_fetch: bool = True,
         retry_timeout: float = 0.5,
         register: bool = True,
+        tracer=None,
     ) -> None:
-        super().__init__(node_id, membership, network, on_deliver, register=register)
+        super().__init__(
+            node_id, membership, network, on_deliver, register=register, tracer=tracer
+        )
         self.sim = sim
         self.early_fetch = early_fetch
         self._retriever = Retriever(
@@ -72,6 +75,10 @@ class TribeBrachaRbc(RbcProtocol):
 
     def broadcast(self, payload: Any, round_: Round) -> None:
         digest_ = payload_digest(payload)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "rbc.propose", node=self.node_id, round=round_, time=self.sim.now
+            )
         clan = self.membership.clan
         in_clan = [p for p in self.membership.all_parties if p in clan]
         outside = [p for p in self.membership.all_parties if p not in clan]
@@ -103,6 +110,8 @@ class TribeBrachaRbc(RbcProtocol):
         if src != msg.origin:
             return  # authenticated channels: VAL must come from its origin
         state = self.instance(msg.origin, msg.round)
+        if self.tracer.enabled and state.val_at is None:
+            state.val_at = self.sim.now
         digest_ = msg.digest
         if msg.payload is not None:
             if payload_digest(msg.payload) != digest_:
@@ -121,6 +130,14 @@ class TribeBrachaRbc(RbcProtocol):
         if self.in_clan and digest_ not in state.payloads:
             return
         state.echoed = True
+        if self.tracer.enabled:
+            now = self.sim.now
+            state.echo_at = now
+            self.tracer.span(
+                "rbc.val_to_echo",
+                start=state.val_at if state.val_at is not None else now,
+                end=now, node=self.node_id, origin=msg.origin, round=msg.round,
+            )
         self.network.broadcast(self.node_id, EchoMsg(msg.origin, msg.round, digest_))
 
     def _on_echo(self, src: NodeId, msg: EchoMsg) -> None:
@@ -142,6 +159,8 @@ class TribeBrachaRbc(RbcProtocol):
             return
         if state.ready_digest is None:
             state.ready_digest = digest_
+            if self.tracer.enabled:
+                self._trace_ready(state, origin, round_)
             self.network.broadcast(self.node_id, ReadyMsg(origin, round_, digest_))
         # §5 optimization: a clan member missing the payload can start the
         # download as soon as the ECHO quorum certifies an honest holder.
@@ -153,6 +172,18 @@ class TribeBrachaRbc(RbcProtocol):
         ):
             self._retriever.fetch(origin, round_, digest_, clan_supporters)
 
+    def _trace_ready(self, state, origin: NodeId, round_: Round) -> None:
+        """Record the echo→ready phase transition for one instance."""
+        now = self.sim.now
+        state.ready_at = now
+        start = state.echo_at
+        if start is None:
+            start = state.val_at if state.val_at is not None else now
+        self.tracer.span(
+            "rbc.echo_to_ready", start=start, end=now,
+            node=self.node_id, origin=origin, round=round_,
+        )
+
     def _on_ready(self, src: NodeId, msg: ReadyMsg) -> None:
         state = self.instance(msg.origin, msg.round)
         supporters = state.readies.setdefault(msg.digest, set())
@@ -162,6 +193,8 @@ class TribeBrachaRbc(RbcProtocol):
         count = len(supporters)
         if count >= self.membership.ready_amplify and state.ready_digest is None:
             state.ready_digest = msg.digest
+            if self.tracer.enabled:
+                self._trace_ready(state, msg.origin, msg.round)
             self.network.broadcast(
                 self.node_id, ReadyMsg(msg.origin, msg.round, msg.digest)
             )

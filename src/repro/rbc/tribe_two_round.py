@@ -19,7 +19,7 @@ from typing import Any
 
 from ..crypto.certificates import QuorumCertificate, build_certificate, verify_certificate
 from ..crypto.hashing import digest as compute_digest
-from ..crypto.signatures import Pki, Signature
+from ..crypto.signatures import Pki
 from ..errors import BroadcastError
 from ..net.network import Network
 from ..sim.scheduler import Simulator
@@ -52,8 +52,11 @@ class TribeTwoRoundRbc(RbcProtocol):
         on_deliver: DeliverFn,
         retry_timeout: float = 0.5,
         register: bool = True,
+        tracer=None,
     ) -> None:
-        super().__init__(node_id, membership, network, on_deliver, register=register)
+        super().__init__(
+            node_id, membership, network, on_deliver, register=register, tracer=tracer
+        )
         self.sim = sim
         self.pki = pki
         self._key = pki.key(node_id)
@@ -67,6 +70,10 @@ class TribeTwoRoundRbc(RbcProtocol):
 
     def broadcast(self, payload: Any, round_: Round) -> None:
         digest_ = payload_digest(payload)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "rbc.propose", node=self.node_id, round=round_, time=self.sim.now
+            )
         signature = self._key.sign(val_statement(self.node_id, round_, digest_))
         clan = self.membership.clan
         in_clan = [p for p in self.membership.all_parties if p in clan]
@@ -109,6 +116,8 @@ class TribeTwoRoundRbc(RbcProtocol):
         if msg.signature.signer != msg.origin:
             return
         state = self.instance(msg.origin, msg.round)
+        if self.tracer.enabled and state.val_at is None:
+            state.val_at = self.sim.now
         digest_ = msg.digest
         if msg.payload is not None:
             if payload_digest(msg.payload) != digest_:
@@ -125,6 +134,14 @@ class TribeTwoRoundRbc(RbcProtocol):
         if self.in_clan and digest_ not in state.payloads:
             return  # clan members vouch only for values they hold
         state.echoed = True
+        if self.tracer.enabled:
+            now = self.sim.now
+            state.echo_at = now
+            self.tracer.span(
+                "rbc.val_to_echo",
+                start=state.val_at if state.val_at is not None else now,
+                end=now, node=self.node_id, origin=msg.origin, round=msg.round,
+            )
         echo_sig = self._key.sign(echo_statement(msg.origin, msg.round, digest_))
         self.network.broadcast(
             self.node_id, EchoMsg(msg.origin, msg.round, digest_, echo_sig)

@@ -28,6 +28,7 @@ class TwoRoundRbc(TribeTwoRoundRbc):
         pki: Pki,
         on_deliver: DeliverFn,
         register: bool = True,
+        tracer=None,
     ) -> None:
         super().__init__(
             node_id,
@@ -37,4 +38,5 @@ class TwoRoundRbc(TribeTwoRoundRbc):
             pki,
             on_deliver,
             register=register,
+            tracer=tracer,
         )

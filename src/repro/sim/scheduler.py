@@ -6,28 +6,39 @@ for the same instant, which makes every run fully deterministic: two runs with
 the same seeds schedule the same events in the same order.
 
 The hot path (``schedule`` + ``run``) is deliberately lean — benchmark runs
-push millions of message-delivery events through it.
+push millions of message-delivery events through it.  Tracing adds no
+per-event work: the run loop is wrapped (not instrumented inside), and the
+per-run ``sim.run`` span carries event counts and wall-clock per simulated
+second.
+
+Cancelled events stay in the heap (O(1) cancellation) but are *compacted*
+away once they dominate: timer-heavy workloads (one leader timer per node per
+round, almost always cancelled) would otherwise pay a heap-pop per dead entry.
 """
 
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..obs.tracer import NULL_TRACER
 
 
 class EventHandle:
     """Handle to a scheduled event; allows cancellation.
 
     Cancellation is O(1): the entry stays in the heap but its callback is
-    cleared, and the run loop skips it.
+    cleared, and the run loop skips it.  The owning simulator counts
+    cancellations so it can compact the heap when dead entries dominate.
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, sim: "Simulator | None" = None) -> None:
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -40,12 +51,25 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._entry[2] is None:
+            return
         self._entry[2] = None
         self._entry[3] = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    Args:
+        tracer: optional :class:`repro.obs.Tracer`; when enabled, each
+            ``run()`` call emits a ``sim.run`` span with event counts and
+            wall-clock attribution.  Disabled cost: one attribute check per
+            ``run()`` call (never per event).
+        compact_threshold: once at least this many cancelled entries are
+            pending *and* they make up half the heap, the heap is rebuilt
+            without them.
 
     >>> sim = Simulator()
     >>> fired = []
@@ -58,19 +82,37 @@ class Simulator:
     1.5
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_stopped", "_processed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_stopped",
+        "_processed",
+        "_cancelled",
+        "_compact_threshold",
+        "_compactions",
+        "_tracer",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None, compact_threshold: int = 1024) -> None:
         self._now = 0.0
         self._queue: list[list] = []
         self._seq = 0
         self._stopped = False
         self._processed = 0
+        self._cancelled = 0
+        self._compact_threshold = compact_threshold
+        self._compactions = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def tracer(self):
+        return self._tracer
 
     @property
     def processed_events(self) -> int:
@@ -81,6 +123,16 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still occupying the heap."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to shed cancelled entries."""
+        return self._compactions
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -97,7 +149,7 @@ class Simulator:
         self._seq += 1
         entry = [when, self._seq, fn, args]
         heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def post(self, when: float, fn: Callable[..., Any], args: tuple) -> None:
         """Hot-path variant of :meth:`schedule_at`: no handle, no cancellation.
@@ -116,6 +168,29 @@ class Simulator:
         """Make :meth:`run` return after the current event finishes."""
         self._stopped = True
 
+    def _note_cancelled(self) -> None:
+        """Called by :class:`EventHandle` when an entry is cancelled."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._compact_threshold
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(live) instead of
+        O(dead · log n) pops in the run loop).
+
+        In-place (slice assignment) on purpose: the run loop holds a local
+        alias to the queue list, and cancellations — hence compactions — can
+        happen inside an event callback while the loop is mid-iteration.
+        """
+        live = [entry for entry in self._queue if entry[2] is not None]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self._compactions += 1
+
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events in time order.
 
@@ -126,6 +201,31 @@ class Simulator:
             max_events: safety valve — raise :class:`SimulationError` if more
                 than this many events execute (runaway-protocol guard).
         """
+        tracer = self._tracer
+        if not tracer.enabled:
+            self._run_loop(until, max_events)
+            return
+        wall_start = _time.perf_counter()
+        sim_start = self._now
+        processed_before = self._processed
+        try:
+            self._run_loop(until, max_events)
+        finally:
+            wall = _time.perf_counter() - wall_start
+            executed = self._processed - processed_before
+            advanced = self._now - sim_start
+            tracer.span(
+                "sim.run",
+                start=sim_start,
+                end=self._now,
+                events=executed,
+                wall_s=round(wall, 6),
+                wall_per_sim_s=round(wall / advanced, 6) if advanced > 0 else None,
+                events_per_wall_s=round(executed / wall) if wall > 0 else None,
+                pending=len(self._queue),
+            )
+
+    def _run_loop(self, until: float | None, max_events: int | None) -> None:
         self._stopped = False
         queue = self._queue
         pop = heapq.heappop
@@ -136,6 +236,8 @@ class Simulator:
                 return
             when, _seq, fn, args = pop(queue)
             if fn is None:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self._now = when
             fn(*args)

@@ -13,6 +13,7 @@ from typing import Any
 from ..committees.config import ClanConfig
 from ..dag.transaction import Transaction
 from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
 from ..types import NodeId
 
 
@@ -30,12 +31,19 @@ class _PendingRequest:
 class Client:
     """A client of one clan (in multi-clan: of the application's clan)."""
 
-    def __init__(self, client_id: str, clan_cfg: ClanConfig, clan_idx: int = 0) -> None:
+    def __init__(
+        self,
+        client_id: str,
+        clan_cfg: ClanConfig,
+        clan_idx: int = 0,
+        tracer=None,
+    ) -> None:
         if not 0 <= clan_idx < clan_cfg.num_clans:
             raise ExecutionError(f"clan index {clan_idx} out of range")
         self.client_id = client_id
         self.cfg = clan_cfg
         self.clan_idx = clan_idx
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._seq = 0
         self._pending: dict[str, _PendingRequest] = {}
 
@@ -69,6 +77,15 @@ class Client:
                 request.accepted = True
                 request.result = value
                 request.accepted_at = now
+                if self.tracer.enabled:
+                    # Client-observed latency: creation → f_c+1 matching replies.
+                    self.tracer.counter(
+                        "smr.client_latency",
+                        value=now - request.txn.created_at,
+                        time=now,
+                        client=self.client_id,
+                        clan=request.clan_idx,
+                    )
                 return
 
     # -- inspection -----------------------------------------------------------

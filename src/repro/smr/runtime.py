@@ -16,6 +16,7 @@ from ..consensus.params import ProtocolParams
 from ..dag.transaction import Transaction
 from ..errors import ExecutionError
 from ..net.latency import LatencyModel
+from ..obs.tracer import ensure_tracer
 from ..types import NodeId
 from .client import Client
 from .executor import Executor
@@ -34,11 +35,13 @@ class SmrRuntime:
         max_txns_per_block: int = 500,
         seed: int = 0,
         sharded: bool = False,
+        tracer=None,
         **deployment_kwargs,
     ) -> None:
         self.cfg = clan_cfg
         self.reply_delay = reply_delay
         self.sharded = sharded
+        self.tracer = ensure_tracer(tracer)
         self.mempools: dict[NodeId, Mempool] = {
             p: Mempool(max_txns_per_block) for p in clan_cfg.block_proposers
         }
@@ -48,6 +51,7 @@ class SmrRuntime:
             latency=latency,
             make_block=self._make_block,
             seed=seed,
+            tracer=tracer,
             **deployment_kwargs,
         )
         self.sim = self.deployment.sim
@@ -80,7 +84,7 @@ class SmrRuntime:
     def new_client(self, client_id: str, clan_idx: int = 0) -> Client:
         if client_id in self.clients:
             raise ExecutionError(f"duplicate client id {client_id}")
-        client = Client(client_id, self.cfg, clan_idx)
+        client = Client(client_id, self.cfg, clan_idx, tracer=self.tracer)
         self.clients[client_id] = client
         return client
 

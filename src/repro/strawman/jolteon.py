@@ -17,7 +17,7 @@ new-view to the next leader, who proposes re-using the highest known QC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..crypto.certificates import QuorumCertificate, build_certificate, verify_certificate

@@ -8,7 +8,7 @@ holds the block, so consensus can safely order the digest alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..committees.config import ClanConfig

@@ -1,6 +1,5 @@
 """Tests for run metrics, the experiment runner, and reporting helpers."""
 
-import os
 
 import pytest
 
@@ -56,6 +55,33 @@ def test_runner_single_clan_requires_size():
     )
     with pytest.raises(ConfigError):
         cfg.clan_config()
+
+
+def test_by_kind_stats_empty_without_tracking():
+    _, metrics = small_run()
+    assert metrics.bytes_by_kind == {}
+    assert metrics.messages_by_kind == {}
+
+
+def test_by_kind_stats_populated_with_tracking():
+    _, metrics = small_run(track_kinds=True)
+    assert metrics.messages_by_kind, "tracked run must report per-kind counts"
+    assert sum(metrics.bytes_by_kind.values()) == metrics.total_bytes
+    assert sum(metrics.messages_by_kind.values()) == metrics.total_messages
+
+
+def test_runner_accepts_tracer():
+    from repro.obs import Tracer
+    from repro.obs.tracer import iter_spans
+
+    tracer = Tracer()
+    config = ExperimentConfig(
+        protocol="sailfish", n=7, txns_per_proposal=20, duration=3.0, warmup=1.0
+    )
+    metrics = run_experiment(config, tracer=tracer)
+    assert metrics.committed_txns > 0
+    names = {s.name for s in iter_spans(tracer.records())}
+    assert "net.hop" in names and "consensus.round" in names and "sim.run" in names
 
 
 def test_measure_run_latency_accounts_creation_time():

@@ -1,0 +1,85 @@
+"""Unit tests for the trace summarizer over synthetic traces."""
+
+import pytest
+
+from repro.bench.trace_report import (
+    client_latency_table,
+    counter_table,
+    format_trace_report,
+    hop_kind_table,
+    hop_stage_table,
+    load_trace,
+    main,
+    span_summary_table,
+)
+from repro.obs import Tracer
+
+
+def make_trace():
+    t = Tracer()
+    # Two hops with a known decomposition.
+    t.span("net.hop", start=0.0, end=0.10, node=1, src=0, kind="ValMsg",
+           size=1000, nic_wait=0.01, tx=0.02, prop=0.05, cpu_wait=0.01, cpu=0.01)
+    t.span("net.hop", start=0.1, end=0.16, node=2, src=0, kind="EchoMsg",
+           size=100, nic_wait=0.0, tx=0.01, prop=0.05, cpu_wait=0.0, cpu=0.0)
+    # One RBC phase span and matching counters.
+    t.span("rbc.e2e", start=0.0, end=0.2, node=1, origin=0, round=1)
+    t.counter("rbc.propose", node=0, time=0.0, round=1)
+    t.counter("smr.client_latency", value=0.4, time=0.5, client="c1")
+    t.counter("smr.client_latency", value=0.6, time=0.7, client="c1")
+    return t
+
+
+def test_hop_stage_table_decomposition():
+    rows = hop_stage_table(make_trace().records())
+    by_stage = {r["stage"]: r for r in rows}
+    assert list(by_stage) == ["nic_wait", "tx", "prop", "cpu_wait", "cpu"]
+    assert by_stage["prop"]["hops"] == 2
+    assert by_stage["prop"]["mean_ms"] == pytest.approx(50.0)
+    assert by_stage["nic_wait"]["mean_ms"] == pytest.approx(5.0)
+    # Shares cover the full decomposition.
+    assert sum(r["share_%"] for r in rows) == pytest.approx(100.0, abs=0.5)
+
+
+def test_hop_kind_table_sorted_by_time():
+    rows = hop_kind_table(make_trace().records())
+    assert [r["kind"] for r in rows] == ["ValMsg", "EchoMsg"]
+    assert rows[0]["hops"] == 1
+
+
+def test_span_summary_excludes_hops():
+    rows = span_summary_table(make_trace().records())
+    assert [r["span"] for r in rows] == ["rbc.e2e"]
+    assert rows[0]["mean_ms"] == pytest.approx(200.0)
+
+
+def test_counter_and_client_latency_tables():
+    records = make_trace().records()
+    counters = {r["counter"]: r for r in counter_table(records)}
+    assert counters["rbc.propose"]["events"] == 1
+    (latency,) = client_latency_table(records)
+    assert latency["accepted_txns"] == 2
+    assert latency["mean_s"] == pytest.approx(0.5)
+
+
+def test_format_trace_report_sections():
+    report = format_trace_report(make_trace())
+    assert "Per-hop latency decomposition" in report
+    assert "Client-observed latency" in report
+    assert format_trace_report([]) == "(empty trace: no records)"
+
+
+def test_report_main_round_trip(tmp_path, capsys):
+    t = make_trace()
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    assert load_trace(str(path)) == t.to_dicts()
+    assert main([str(path)]) == 0
+    assert "Per-hop latency decomposition" in capsys.readouterr().out
+    assert main([str(path), "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "hop_stages", "hop_kinds", "spans", "counters", "client_latency", "sim"
+    }

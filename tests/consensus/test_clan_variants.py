@@ -1,6 +1,5 @@
 """Tests for single-clan and multi-clan Sailfish (§5, §6)."""
 
-import pytest
 
 from repro.committees import ClanConfig
 from repro.net.latency import UniformLatencyModel

@@ -1,9 +1,8 @@
 """Fault-injection tests: crashes, equivocation, withholding, no-vote path."""
 
-import pytest
 
 from repro.committees import ClanConfig
-from repro.consensus import Deployment, ProtocolParams
+from repro.consensus import ProtocolParams
 from repro.consensus.byzantine import (
     CrashAt,
     EquivocatingProposer,

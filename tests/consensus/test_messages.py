@@ -4,9 +4,7 @@ The bandwidth model's realism rests on these sizes: the §5 claim that
 "references are much smaller than payloads" must hold numerically.
 """
 
-import pytest
 
-from repro.committees import ClanConfig
 from repro.consensus.messages import (
     NoVoteCertificate,
     NoVoteMsg,

@@ -1,6 +1,5 @@
 """White-box tests for SailfishNode internals: votes, no-votes, NVC validity."""
 
-import pytest
 
 from repro.committees import ClanConfig
 from repro.consensus import Deployment, ProtocolParams

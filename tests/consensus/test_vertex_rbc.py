@@ -3,7 +3,7 @@
 import pytest
 
 from repro.committees import ClanConfig
-from repro.crypto.signatures import Pki, Signature
+from repro.crypto.signatures import Pki
 from repro.dag.block import Block
 from repro.dag.transaction import Transaction
 from repro.dag.vertex import Vertex, genesis_vertex

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dag import Block, Transaction, Vertex, VertexRef, genesis_vertex
+from repro.dag import Block, Transaction, Vertex, genesis_vertex
 from repro.errors import DagError
 from repro.net import sizes
 

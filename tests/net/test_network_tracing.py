@@ -1,0 +1,117 @@
+"""Traced-network tests: the per-hop decomposition must account for the
+delivery time exactly, and tracing must not perturb delivery semantics."""
+
+import pytest
+
+from repro.net.cpu import CpuModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.latency import UniformLatencyModel
+from repro.obs import Tracer
+from repro.obs.tracer import iter_spans
+from repro.sim import Simulator
+
+
+class Blob(Message):
+    __slots__ = ("size", "signed")
+
+    def __init__(self, size=1000, signed=False):
+        self.size = size
+        self.signed = signed
+
+    def wire_size(self):
+        return self.size
+
+
+def make_traced_net(n=4, latency=0.05, bandwidth_bps=None, cpu=None):
+    sim = Simulator()
+    tracer = Tracer(clock=lambda: sim.now)
+    net = Network(
+        sim,
+        n,
+        latency=UniformLatencyModel(latency),
+        bandwidth_bps=bandwidth_bps,
+        cpu=cpu,
+        tracer=tracer,
+    )
+    inbox = [[] for _ in range(n)]
+    for i in range(n):
+        net.register(i, lambda src, msg, i=i: inbox[i].append((sim.now, src, msg)))
+    return sim, net, tracer, inbox
+
+
+def hops(tracer):
+    return list(iter_spans(tracer.records(), "net.hop"))
+
+
+def test_hop_components_sum_to_delivery_time():
+    sim, net, tracer, inbox = make_traced_net(
+        bandwidth_bps=8e6, cpu=CpuModel(per_message=0.001)
+    )
+    net.send(0, 1, Blob(size=10_000))
+    net.send(0, 2, Blob(size=10_000))  # queues behind the first on node 0's NIC
+    sim.run()
+    spans = hops(tracer)
+    assert len(spans) == 2
+    for span in spans:
+        a = span.attrs
+        total = a["nic_wait"] + a["tx"] + a["prop"] + a["cpu_wait"] + a["cpu"]
+        assert span.end - span.start == pytest.approx(total)
+    # The second message waited a full serialization slot behind the first.
+    second = next(s for s in spans if s.node == 2)
+    assert second.attrs["nic_wait"] == pytest.approx(10_000 / 1e6)
+    assert second.attrs["tx"] == pytest.approx(10_000 / 1e6)
+    assert second.attrs["cpu"] == pytest.approx(0.001)
+
+
+def test_hop_span_matches_handler_time_without_cpu():
+    sim, net, tracer, inbox = make_traced_net(bandwidth_bps=8e6)
+    net.send(0, 3, Blob(size=5000))
+    sim.run()
+    (span,) = hops(tracer)
+    (arrival,) = inbox[3]
+    # Without a CPU model the span closes exactly at handler-invocation time.
+    assert span.end == pytest.approx(arrival[0])
+    assert span.attrs["cpu_wait"] == 0.0 and span.attrs["cpu"] == 0.0
+    assert span.attrs["kind"] == "Blob" and span.attrs["size"] == 5000
+
+
+def test_loopback_hop_has_zero_network_components():
+    sim, net, tracer, inbox = make_traced_net(bandwidth_bps=8e6)
+    net.broadcast(0, Blob(size=2000))
+    sim.run()
+    self_hop = next(s for s in hops(tracer) if s.node == 0)
+    a = self_hop.attrs
+    assert a["nic_wait"] == a["tx"] == a["prop"] == 0.0
+    assert self_hop.start == self_hop.end == 0.0
+
+
+def test_tracing_does_not_change_delivery_schedule():
+    def deliveries(tracer):
+        sim = Simulator()
+        net = Network(
+            sim,
+            4,
+            latency=UniformLatencyModel(0.05),
+            bandwidth_bps=8e6,
+            cpu=CpuModel(per_message=0.0005),
+            tracer=tracer,
+        )
+        log = []
+        for i in range(4):
+            net.register(i, lambda src, msg, i=i: log.append((round(sim.now, 9), src, i)))
+        net.broadcast(0, Blob(size=3000))
+        net.send(1, 2, Blob(size=500))
+        sim.run()
+        return log
+
+    assert deliveries(None) == deliveries(Tracer())
+
+
+def test_crashed_destination_emits_no_hop_span():
+    sim, net, tracer, inbox = make_traced_net()
+    net.crash(2)
+    net.send(0, 2, Blob())
+    sim.run()
+    assert hops(tracer) == []
+    assert inbox[2] == []

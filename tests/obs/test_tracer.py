@@ -1,0 +1,130 @@
+"""Unit tests for the tracer event bus, its records, and JSONL round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    CounterRecord,
+    GaugeRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    ensure_tracer,
+    record_from_dict,
+)
+from repro.obs.tracer import iter_spans
+
+
+def test_counter_gauge_span_records():
+    t = Tracer()
+    t.counter("msgs", value=3.0, node=1, time=0.5, kind="VAL")
+    t.gauge("queue_depth", value=17.0, node=2, time=1.0)
+    t.span("phase", start=0.0, end=2.5, node=0, round=4)
+    records = t.records()
+    assert len(records) == 3
+    counter, gauge, span = records
+    assert isinstance(counter, CounterRecord)
+    assert counter.value == 3.0 and counter.attrs == {"kind": "VAL"}
+    assert isinstance(gauge, GaugeRecord)
+    assert gauge.value == 17.0 and gauge.node == 2
+    assert isinstance(span, SpanRecord)
+    assert span.duration == 2.5 and span.attrs == {"round": 4}
+
+
+def test_clock_binding():
+    t = Tracer()
+    assert t.now() == 0.0  # unbound clock defaults to zero
+    t.set_clock(lambda: 42.5)
+    assert t.now() == 42.5
+    t.counter("x")  # time defaults to the bound clock
+    assert t.records()[0].time == 42.5
+
+
+def test_begin_end_keyed_spans():
+    clock = [0.0]
+    t = Tracer(clock=lambda: clock[0])
+    t.begin("round", key=1, node=3)
+    clock[0] = 2.0
+    t.begin("round", key=1, node=3)  # idempotent: keeps the first start
+    clock[0] = 5.0
+    t.end("round", key=1, node=3, depth=2)
+    (span,) = t.records()
+    assert span.start == 0.0 and span.end == 5.0
+    assert span.attrs == {"depth": 2}
+    # Ending a span that was never begun is silently ignored.
+    t.end("round", key=99)
+    assert len(t) == 1
+
+
+def test_ring_buffer_eviction_and_dropped():
+    t = Tracer(capacity=10)
+    for i in range(25):
+        t.counter("c", value=float(i))
+    assert len(t) == 10
+    assert t.emitted == 25
+    assert t.dropped == 15
+    # The survivors are the newest records.
+    assert [r.value for r in t.records()] == [float(i) for i in range(15, 25)]
+    t.clear()
+    assert len(t) == 0 and t.emitted == 0 and t.dropped == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_null_tracer_is_inert():
+    n = NullTracer()
+    assert n.enabled is False
+    n.set_clock(lambda: 1.0)
+    n.counter("x")
+    n.gauge("y", 1.0)
+    n.span("z", 0.0, 1.0)
+    n.begin("a")
+    n.end("a")
+    assert n.records() == []
+    assert len(n) == 0
+    assert n.now() == 0.0
+
+
+def test_ensure_tracer():
+    assert ensure_tracer(None) is NULL_TRACER
+    t = Tracer()
+    assert ensure_tracer(t) is t
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = Tracer()
+    t.counter("msgs", value=2.0, node=1, time=0.25, kind="ECHO")
+    t.gauge("depth", value=3.5, time=0.5)
+    t.span("rbc.e2e", start=0.0, end=1.5, node=4, origin=2)
+    path = tmp_path / "trace.jsonl"
+    written = t.export_jsonl(str(path))
+    assert written == 3
+    # Every line is standalone valid JSON.
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)
+    # Typed round-trip reproduces the original records exactly.
+    loaded = Tracer.read_jsonl(str(path))
+    assert loaded == t.records()
+    # Raw-dict load matches to_dicts().
+    assert Tracer.read_jsonl_dicts(str(path)) == t.to_dicts()
+
+
+def test_record_from_dict_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        record_from_dict({"type": "histogram", "name": "x"})
+
+
+def test_iter_spans_filter():
+    t = Tracer()
+    t.span("a", 0.0, 1.0)
+    t.counter("a")
+    t.span("b", 1.0, 2.0)
+    assert [s.name for s in iter_spans(t.records())] == ["a", "b"]
+    assert [s.name for s in iter_spans(t.records(), "b")] == ["b"]

@@ -31,7 +31,8 @@ def build(n, clan, protocol, seed):
     deliveries = {i: [] for i in range(n)}
     modules = []
     for i in range(n):
-        cb = lambda d, i=i: deliveries[i].append(d)
+        def cb(d, i=i):
+            deliveries[i].append(d)
         if protocol == "bracha":
             modules.append(TribeBrachaRbc(i, membership, net, sim, cb))
         else:

@@ -30,7 +30,8 @@ class Harness:
         self.deliveries = {i: [] for i in range(n)}
         self.modules = []
         for i in range(n):
-            on_deliver = lambda d, i=i: self.deliveries[i].append(d)
+            def on_deliver(d, i=i):
+                self.deliveries[i].append(d)
             if protocol in (BrachaRbc, TwoRoundRbc):
                 if protocol is BrachaRbc:
                     module = BrachaRbc(i, n, self.net, self.sim, on_deliver)

@@ -1,6 +1,5 @@
 """Tests for classic Bracha RBC (the baseline primitive)."""
 
-import pytest
 
 from repro.rbc.bracha import BrachaRbc
 from repro.rbc.messages import EchoMsg, ReadyMsg, ValMsg
@@ -146,8 +145,8 @@ def test_good_case_latency_three_hops(make_harness):
     h.modules[0].broadcast(b"x", 1)
     h.run()
     for i in range(N):
-        t = h.deliveries[i][0]
-        assert h.sim.now >= 0.3
+        assert h.deliveries[i], f"node {i} never delivered"
+    assert h.sim.now >= 0.3
     # The earliest delivery anywhere is exactly 3 * latency (sender's own
     # VAL->ECHO->READY chain runs over loopback + network hops).
     first = min(d.round for i in range(N) for d in h.deliveries[i])

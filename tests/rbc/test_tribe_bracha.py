@@ -1,6 +1,5 @@
 """Tests for the Fig. 2 tribe-assisted RBC (signature-free, 3 rounds)."""
 
-import pytest
 
 from repro.net.adversary import TargetedDelayAdversary
 from repro.rbc.byzantine import send_equivocating_vals, send_withholding_vals

@@ -1,6 +1,5 @@
 """Tests for the two-round RBC variants (Fig. 3 and Abraham et al. baseline)."""
 
-import pytest
 
 from repro.crypto.hashing import digest as hash_of
 from repro.crypto.signatures import Signature
@@ -30,9 +29,6 @@ def test_two_round_faster_than_bracha(make_harness):
     times = {}
     for proto in (TwoRoundRbc, BrachaRbc):
         h = make_harness(proto, 7, latency=latency)
-        first_delivery = []
-        orig = h.deliveries[3]
-
         h.modules[0].broadcast(b"m", 1)
         h.run()
         times[proto] = h.sim.now

@@ -38,7 +38,6 @@ def test_chain_grows_and_commits():
     assert nodes[0].view > 20
     assert len(commits[0]) > 15
     # Every replica commits the same view sequence.
-    sequences = {tuple(v for v, _ in commits[i]) for i in range(N)}
     shared = min(len(commits[i]) for i in range(N))
     prefixes = {tuple(v for v, _ in commits[i][:shared]) for i in range(N)}
     assert len(prefixes) == 1

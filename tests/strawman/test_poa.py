@@ -9,7 +9,7 @@ from repro.net.latency import UniformLatencyModel
 from repro.net.network import Network
 from repro.errors import ConsensusError
 from repro.sim import Simulator
-from repro.strawman.poa import PoA, PoaAckMsg, PoaDisseminator, ack_statement
+from repro.strawman.poa import PoaAckMsg, PoaDisseminator, ack_statement
 
 
 def build(cfg=None):

@@ -63,6 +63,37 @@ def test_figures_fast_targets(capsys):
         assert "Reproduction data" in out
 
 
+def test_trace_command_writes_jsonl_and_reports(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    code, out = run_cli(capsys, "trace", "fig5_smoke", "--out", str(out_path))
+    assert code == 0
+    # The report decomposes hop latency into the network model's stages.
+    for stage in ("nic_wait", "tx", "prop", "cpu_wait"):
+        assert stage in out
+    assert "Per-hop latency decomposition" in out
+    assert "trace written to" in out
+    # Every line of the export is valid standalone JSON.
+    lines = out_path.read_text().strip().splitlines()
+    assert lines
+    kinds = {json.loads(line)["type"] for line in lines}
+    assert {"span", "counter"} <= kinds
+
+
+def test_trace_smr_experiment_reports_client_latency(capsys, tmp_path):
+    code, out = run_cli(capsys, "trace", "smr_smoke")
+    assert code == 0
+    assert "Client-observed latency" in out
+    assert "accepted by the client" in out
+
+
+def test_trace_capacity_bounds_records(capsys):
+    code, out = run_cli(capsys, "trace", "fig5_smoke", "--capacity", "1000")
+    assert code == 0
+    assert "1000 kept" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["nonsense"])

@@ -5,7 +5,6 @@ regenerable.  These tests run complete deployments twice and compare not
 just outcomes but event counts and traffic bytes.
 """
 
-import pytest
 
 from repro.committees import ClanConfig
 from repro.consensus import Deployment, ProtocolParams
