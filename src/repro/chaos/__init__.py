@@ -1,0 +1,44 @@
+"""Scenario-driven fault injection ("chaos") harness.
+
+Declarative fault scripts (:mod:`repro.chaos.scenario`) run against a full
+deployment (:mod:`repro.chaos.runner`) and are judged on the protocol's
+actual guarantees: safety (byte-identical committed prefixes), liveness
+(progress after GST), and crash-recovery catch-up.  ``python -m repro chaos``
+is the CLI front end; :data:`repro.chaos.library.SMOKE_SCENARIOS` is the CI
+gate.  See ``docs/FAULTS.md``.
+"""
+
+from .library import ALL_SCENARIOS, SCENARIOS, SMOKE_SCENARIOS, get_scenario
+from .runner import (
+    ChaosResult,
+    InvariantCheck,
+    build_deployment,
+    build_faults,
+    run_scenario,
+    run_scenarios,
+)
+from .scenario import (
+    CrashSpec,
+    PartitionSpec,
+    Scenario,
+    dump_scenarios,
+    load_scenarios,
+)
+
+__all__ = [
+    "Scenario",
+    "PartitionSpec",
+    "CrashSpec",
+    "load_scenarios",
+    "dump_scenarios",
+    "ChaosResult",
+    "InvariantCheck",
+    "run_scenario",
+    "run_scenarios",
+    "build_deployment",
+    "build_faults",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "ALL_SCENARIOS",
+    "get_scenario",
+]

@@ -1,0 +1,140 @@
+"""Built-in chaos scenarios.
+
+The first three are the CI smoke set (``chaos-smoke`` job): one per fault
+family, small tribes, short horizons.  The rest stretch the same machinery —
+composed faults, Byzantine mixes, duplicate storms — for local runs and the
+resilience benchmark.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .scenario import CrashSpec, PartitionSpec, Scenario
+
+#: CI smoke set: deterministic, fast, one scenario per fault family.
+SMOKE_SCENARIOS = (
+    Scenario(
+        name="drop05",
+        description="5% i.i.d. per-link drop over the reliable channel; "
+        "retransmission must mask every loss.",
+        n=4,
+        duration=20.0,
+        drop_prob=0.05,
+        seed=11,
+        min_commits=50,
+    ),
+    Scenario(
+        name="partition_heal",
+        description="Minority {0,1} partitioned off for 5s, then healed; "
+        "commits must resume after GST.",
+        n=4,
+        duration=25.0,
+        partitions=(PartitionSpec(start=5.0, end=10.0, groups=((0, 1),)),),
+        reliable=True,
+        seed=12,
+        min_commits=50,
+    ),
+    Scenario(
+        name="crash_recover",
+        description="Node 3 fail-stops at t=4 and recovers at t=16 (far "
+        "beyond the sync gap); it must catch up and rejoin.",
+        n=4,
+        duration=40.0,
+        crashes=(CrashSpec(node=3, down_at=4.0, up_at=16.0),),
+        seed=13,
+        min_commits=50,
+        max_round_lag=10,
+    ),
+)
+
+#: Extended set for local chaos runs and the resilience bench.
+EXTENDED_SCENARIOS = (
+    Scenario(
+        name="dup_storm",
+        description="8% duplication + 2% drop: the transport must suppress "
+        "every duplicate and repair every loss.",
+        n=4,
+        duration=20.0,
+        drop_prob=0.02,
+        duplicate_prob=0.08,
+        seed=21,
+        min_commits=50,
+    ),
+    Scenario(
+        name="split_brain",
+        description="Back-to-back partitions isolating different halves; no "
+        "side ever holds a quorum alone, so commits pause and resume twice.",
+        n=4,
+        duration=35.0,
+        partitions=(
+            PartitionSpec(start=4.0, end=8.0, groups=((0, 1),)),
+            PartitionSpec(start=12.0, end=16.0, groups=((2, 3),)),
+        ),
+        reliable=True,
+        seed=22,
+        min_commits=50,
+    ),
+    Scenario(
+        name="rolling_crashes",
+        description="Two nodes crash and recover in sequence (never more "
+        "than one down at once); each must catch up.",
+        n=4,
+        duration=50.0,
+        crashes=(
+            CrashSpec(node=1, down_at=3.0, up_at=12.0),
+            CrashSpec(node=2, down_at=18.0, up_at=27.0),
+        ),
+        seed=23,
+        min_commits=80,
+    ),
+    Scenario(
+        name="lossy_crash_combo",
+        description="3% drop, a 4s partition, and a crash/recover all in one "
+        "run — the composed worst case the tentpole must survive.",
+        n=4,
+        duration=50.0,
+        drop_prob=0.03,
+        partitions=(PartitionSpec(start=6.0, end=10.0, groups=((0,),)),),
+        crashes=(CrashSpec(node=2, down_at=14.0, up_at=26.0),),
+        seed=24,
+        min_commits=50,
+        max_round_lag=12,
+    ),
+    Scenario(
+        name="byz_lazy_lossy",
+        description="A lazy voter under 3% loss: leader votes go missing "
+        "both maliciously and physically; timeouts plus NVCs keep rounds "
+        "advancing.",
+        n=4,
+        duration=25.0,
+        drop_prob=0.03,
+        byzantine=((3, "lazy-voter"),),
+        seed=25,
+        leader_timeout=1.0,
+        min_commits=20,
+    ),
+    Scenario(
+        name="byz_equivocator_partition",
+        description="An equivocating proposer during a partition: RBC must "
+        "block a split delivery even while the network is split.",
+        n=4,
+        duration=30.0,
+        partitions=(PartitionSpec(start=5.0, end=9.0, groups=((0, 1),)),),
+        byzantine=((2, "equivocator"),),
+        reliable=True,
+        seed=26,
+        min_commits=30,
+    ),
+)
+
+ALL_SCENARIOS = SMOKE_SCENARIOS + EXTENDED_SCENARIOS
+SCENARIOS = {scenario.name: scenario for scenario in ALL_SCENARIOS}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        ) from None

@@ -1,0 +1,214 @@
+"""Declarative chaos scenarios.
+
+A :class:`Scenario` is a plain-data fault script: link loss/duplication
+rates, scripted partitions, crash/recover churn, and a Byzantine mix, plus
+the invariant bounds the run must satisfy.  Scenarios round-trip through JSON
+(:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`) so fault scripts can
+live in files and CI manifests, and every random choice hangs off one master
+seed, so a scenario is a *reproducible* experiment, not a fuzz run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+from ..errors import ConfigError
+from ..types import NodeId
+
+#: Byzantine behaviours a scenario may name (kept in lockstep with
+#: :mod:`repro.consensus.byzantine`; resolved lazily by the runner).
+BYZANTINE_KINDS = ("silent", "lazy-voter", "equivocator", "withholder")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A scripted split: ``groups`` are disjoint; omitted nodes form the
+    implicit remainder group (see :class:`repro.net.faults.Partition`)."""
+
+    start: float
+    end: float
+    groups: tuple[tuple[NodeId, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(f"partition window [{self.start}, {self.end}) is empty")
+        if not self.groups:
+            raise ConfigError("partition needs at least one explicit group")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One node's outage; ``up_at=None`` means it never recovers."""
+
+    node: NodeId
+    down_at: float
+    up_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.down_at < 0:
+            raise ConfigError("crash time cannot be negative")
+        if self.up_at is not None and self.up_at <= self.down_at:
+            raise ConfigError(
+                f"node {self.node} recovery at {self.up_at} precedes crash"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible fault-injection experiment.
+
+    Invariants asserted by the runner (see :mod:`repro.chaos.runner`):
+
+    * **Safety** — all honest nodes' ordered logs are prefix-consistent, and
+      at least two honest logs share a byte-identical non-empty prefix.
+    * **Liveness** — every live honest node commits new vertices *after* the
+      settle time (last heal/recovery, i.e. the scenario's GST), and the run
+      reaches ``min_commits`` total.
+    * **Catch-up** — every recovered node ends within ``max_round_lag``
+      rounds of the most advanced honest node, with the same committed
+      prefix.
+    """
+
+    name: str
+    description: str = ""
+    # -- deployment shape ---------------------------------------------------
+    n: int = 4
+    duration: float = 30.0
+    seed: int = 0
+    leader_timeout: float = 1.0
+    txns_per_proposal: int = 64
+    # -- faults -------------------------------------------------------------
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    partitions: tuple[PartitionSpec, ...] = ()
+    crashes: tuple[CrashSpec, ...] = ()
+    #: ``(node, kind)`` pairs; kind from :data:`BYZANTINE_KINDS`.
+    byzantine: tuple[tuple[NodeId, str], ...] = ()
+    #: Run over the reliable channel.  Defaults on whenever links are lossy —
+    #: the protocol assumes reliable links, so raw loss without it is a
+    #: *negative* experiment, not a robustness one.
+    reliable: bool | None = None
+    # -- invariant bounds ---------------------------------------------------
+    min_commits: int = 1
+    #: Liveness margin: commits must appear within the window
+    #: ``(settle_time, duration]``; the scenario must leave this much room.
+    settle_margin: float = 5.0
+    #: Max rounds a recovered node may trail the frontier at the end.
+    max_round_lag: int = 10
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ConfigError("chaos scenarios need n >= 4 (f >= 1)")
+        if self.duration <= 0:
+            raise ConfigError("duration must be positive")
+        for node, kind in self.byzantine:
+            if kind not in BYZANTINE_KINDS:
+                raise ConfigError(
+                    f"unknown byzantine kind {kind!r} (node {node}); "
+                    f"choose from {BYZANTINE_KINDS}"
+                )
+            if not 0 <= node < self.n:
+                raise ConfigError(f"byzantine node {node} out of range")
+        for spec in self.crashes:
+            if not 0 <= spec.node < self.n:
+                raise ConfigError(f"crashed node {spec.node} out of range")
+        if self.settle_time + self.settle_margin > self.duration:
+            raise ConfigError(
+                f"scenario {self.name!r}: duration {self.duration} leaves less "
+                f"than settle_margin={self.settle_margin}s after the last "
+                f"fault settles at {self.settle_time}"
+            )
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def use_reliable(self) -> bool:
+        if self.reliable is not None:
+            return self.reliable
+        return self.drop_prob > 0 or self.duplicate_prob > 0
+
+    @property
+    def settle_time(self) -> float:
+        """The scenario's GST: when the last partition heals / node recovers.
+
+        Permanent crashes don't push it out — a node that never returns is a
+        standard fail-stop fault the protocol tolerates within ``f``."""
+        settle = 0.0
+        for split in self.partitions:
+            settle = max(settle, split.end)
+        for crash in self.crashes:
+            settle = max(settle, crash.up_at if crash.up_at is not None else crash.down_at)
+        return settle
+
+    @property
+    def recovered_nodes(self) -> tuple[NodeId, ...]:
+        return tuple(c.node for c in self.crashes if c.up_at is not None)
+
+    @property
+    def permanently_down(self) -> frozenset[NodeId]:
+        up: dict[NodeId, bool] = {}
+        for crash in sorted(self.crashes, key=lambda c: c.down_at):
+            up[crash.node] = crash.up_at is not None
+        return frozenset(node for node, recovered in up.items() if not recovered)
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["partitions"] = [
+            {"start": p.start, "end": p.end, "groups": [list(g) for g in p.groups]}
+            for p in self.partitions
+        ]
+        data["crashes"] = [
+            {"node": c.node, "down_at": c.down_at, "up_at": c.up_at}
+            for c in self.crashes
+        ]
+        data["byzantine"] = [[node, kind] for node, kind in self.byzantine]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        payload = dict(data)
+        payload["partitions"] = tuple(
+            PartitionSpec(
+                start=p["start"],
+                end=p["end"],
+                groups=tuple(tuple(g) for g in p["groups"]),
+            )
+            for p in payload.get("partitions", ())
+        )
+        payload["crashes"] = tuple(
+            CrashSpec(node=c["node"], down_at=c["down_at"], up_at=c.get("up_at"))
+            for c in payload.get("crashes", ())
+        )
+        payload["byzantine"] = tuple(
+            (int(node), str(kind)) for node, kind in payload.get("byzantine", ())
+        )
+        unknown = set(payload) - {f.name for f in cls.__dataclass_fields__.values()}
+        if unknown:
+            raise ConfigError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+def load_scenarios(text: str) -> list[Scenario]:
+    """Parse a JSON file holding one scenario object or a list of them."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ConfigError("scenario file must hold an object or a list")
+    return [Scenario.from_dict(entry) for entry in data]
+
+
+def dump_scenarios(scenarios: Iterable[Scenario]) -> str:
+    return json.dumps([s.to_dict() for s in scenarios], indent=2, sort_keys=True)

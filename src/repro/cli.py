@@ -208,6 +208,54 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .chaos import SCENARIOS, SMOKE_SCENARIOS, load_scenarios, run_scenario
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:28s} {scenario.description}")
+        return 0
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            scenarios = load_scenarios(handle.read())
+    elif args.scenarios:
+        unknown = [name for name in args.scenarios if name not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenarios {unknown}; choose from {sorted(SCENARIOS)}")
+            return 2
+        scenarios = [SCENARIOS[name] for name in args.scenarios]
+    elif args.all:
+        scenarios = list(SCENARIOS.values())
+    else:
+        scenarios = list(SMOKE_SCENARIOS)
+    if args.seed is not None:
+        scenarios = [replace(s, seed=args.seed) for s in scenarios]
+    tracer = Tracer(capacity=args.capacity) if args.out else None
+    failed = 0
+    for scenario in scenarios:
+        result = run_scenario(scenario, tracer=tracer)
+        status = "PASS" if result.ok else "FAIL"
+        print(f"[{status}] {scenario.name} (seed {scenario.seed})")
+        for check in result.checks:
+            mark = "ok " if check.ok else "XXX"
+            print(f"    {mark} {check.name}: {check.detail}")
+        headline = ", ".join(
+            f"{key}={value}"
+            for key, value in result.stats.items()
+            if isinstance(value, (int, float))
+        )
+        print(f"        {headline}")
+        if not result.ok:
+            failed += 1
+    if args.out and tracer is not None:
+        tracer.export_jsonl(args.out)
+        print(f"trace written to {args.out}")
+    print(f"{len(scenarios) - failed}/{len(scenarios)} scenarios passed")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Clan-based DAG BFT SMR reproduction toolkit"
@@ -260,6 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace ring-buffer capacity (oldest records drop beyond this)",
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run fault-injection scenarios and check safety/liveness invariants",
+    )
+    chaos.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names (default: the CI smoke set)",
+    )
+    chaos.add_argument("--list", action="store_true", help="list known scenarios")
+    chaos.add_argument("--all", action="store_true", help="run every built-in scenario")
+    chaos.add_argument(
+        "--file", default=None, help="load scenarios from a JSON file instead"
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None, help="override every scenario's seed"
+    )
+    chaos.add_argument("--out", default=None, help="write a JSONL trace here")
+    chaos.add_argument("--capacity", type=int, default=1_000_000)
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

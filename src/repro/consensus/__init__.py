@@ -11,5 +11,14 @@ from .deployment import Deployment
 from .leader import LeaderSchedule
 from .node import SailfishNode
 from .params import ProtocolParams
+from .sync import DagSynchronizer, SyncRequestMsg, SyncResponseMsg
 
-__all__ = ["ProtocolParams", "LeaderSchedule", "SailfishNode", "Deployment"]
+__all__ = [
+    "ProtocolParams",
+    "LeaderSchedule",
+    "SailfishNode",
+    "Deployment",
+    "DagSynchronizer",
+    "SyncRequestMsg",
+    "SyncResponseMsg",
+]

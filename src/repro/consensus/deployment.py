@@ -16,8 +16,10 @@ from ..dag.vertex import Vertex
 from ..errors import ConsensusError
 from ..net.adversary import DelayAdversary
 from ..net.cpu import CpuModel
+from ..net.faults import ChurnSchedule, LinkFault
 from ..net.latency import LatencyModel, UniformLatencyModel
 from ..net.network import Network
+from ..net.transport import ReliableTransport
 from ..obs.tracer import ensure_tracer
 from ..sim.scheduler import Simulator
 from ..types import NodeId, Round
@@ -47,6 +49,9 @@ class Deployment:
         clan_schedule=None,
         tracer=None,
         track_kinds: bool = False,
+        faults: LinkFault | None = None,
+        reliable: bool = False,
+        churn: ChurnSchedule | None = None,
     ) -> None:
         self.cfg = clan_cfg
         self.clan_schedule = clan_schedule
@@ -57,7 +62,7 @@ class Deployment:
         # records created by any layer carry simulated timestamps.
         self.tracer.set_clock(lambda: self.sim.now)
         n = clan_cfg.n
-        self.network = Network(
+        self.base_network = Network(
             self.sim,
             n,
             latency=latency if latency is not None else UniformLatencyModel(0.05),
@@ -66,7 +71,16 @@ class Deployment:
             cpu=cpu,
             track_kinds=track_kinds,
             tracer=tracer,
+            faults=faults,
         )
+        # Lossy links need the reliable channel for the protocol's "perfect
+        # point-to-point links" assumption to hold; partitions/crashes alone
+        # don't (messages there are delayed or legitimately lost with the
+        # node), so `reliable` stays an explicit knob.
+        self.network = (
+            ReliableTransport(self.base_network) if reliable else self.base_network
+        )
+        self.churn = churn
         self.pki = Pki(n, seed=seed)
         self.schedule = LeaderSchedule(n, seed=seed)
         self.crashed = set(crashed or ())
@@ -97,6 +111,12 @@ class Deployment:
             behavior.install(self.nodes[node_id], self)
         for node_id in self.crashed:
             self.network.crash(node_id)
+        if churn is not None:
+            # Transient crash/recover churn is installed after registration so
+            # the lifecycle callbacks (timer suppression, catch-up) are wired.
+            # Churned nodes are NOT counted against f: they are honest and
+            # recover; permanent faults above remain bounded by f.
+            churn.install(self.sim, self.network)
 
     @property
     def honest_ids(self) -> list[NodeId]:

@@ -41,6 +41,7 @@ from ..types import NodeId, Round
 from .leader import LeaderSchedule
 from .messages import NoVoteCertificate, NoVoteMsg, no_vote_statement
 from .params import ProtocolParams
+from .sync import DagSynchronizer, SyncRequestMsg, SyncResponseMsg
 from .vertex_rbc import VertexRbc
 
 #: Hook invoked for each newly ordered vertex: (node, vertex, time).
@@ -119,7 +120,21 @@ class SailfishNode:
         self._proposed: set[Round] = set()
         #: Validity of attached leader vertices (leader-edge-or-NVC rule).
         self._leader_valid: dict[Round, bool] = {}
+        #: Crash-recovery/lagging-node catch-up (see repro.consensus.sync).
+        self.sync = DagSynchronizer(
+            self,
+            gap_threshold=params.sync_gap_threshold,
+            batch_rounds=params.sync_batch_rounds,
+            retry_timeout=params.sync_retry_timeout,
+            enabled=params.catchup,
+        )
+        #: Fail-stop flag mirroring the network's view; guards every timer-
+        #: and schedule-driven action so a crashed node cannot keep acting
+        #: from beyond the grave.
+        self._crashed_local = False
         network.register(node_id, self._on_message)
+        if hasattr(network, "on_lifecycle"):
+            network.on_lifecycle(node_id, self._on_crash, self._on_recover)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -130,7 +145,7 @@ class SailfishNode:
         self.started = True
         self._enter_round(1)
 
-    def _enter_round(self, round_: Round) -> None:
+    def _enter_round(self, round_: Round, propose: bool = True) -> None:
         if self.tracer.enabled:
             now = self.sim.now
             if self._round_entered_at is not None and round_ > 1:
@@ -144,12 +159,13 @@ class SailfishNode:
             self._timer.cancel()
             return
         self._timer.start(self.params.leader_timeout)
-        self._propose(round_)
+        if propose:
+            self._propose(round_)
 
     # -- proposing ------------------------------------------------------------------
 
     def _propose(self, round_: Round) -> None:
-        if round_ in self._proposed:
+        if round_ in self._proposed or self._crashed_local:
             return
         self._proposed.add(round_)
         strong = self._strong_edges(round_)
@@ -260,6 +276,10 @@ class SailfishNode:
             return
         if isinstance(msg, NoVoteMsg):
             self._on_no_vote(src, msg)
+        elif isinstance(msg, SyncRequestMsg):
+            self.sync.on_request(src, msg)
+        elif isinstance(msg, SyncResponseMsg):
+            self.sync.on_response(src, msg)
 
     def _on_no_vote(self, src: NodeId, msg: NoVoteMsg) -> None:
         if msg.signature.signer != src:
@@ -277,6 +297,8 @@ class SailfishNode:
     def _on_first_val(self, vertex: Vertex) -> None:
         """Count Sailfish votes from the first dissemination message."""
         self._count_vote(vertex)
+        # Every VAL reports its proposer's round: the cheapest lag signal.
+        self.sync.observe(vertex.round)
 
     def _count_vote(self, vertex: Vertex) -> None:
         prev = vertex.round - 1
@@ -342,10 +364,20 @@ class SailfishNode:
                 anchor_round=anchor.round, depth=len(chain), ordered=ordered,
             )
         self.last_committed_round = anchor.round
+        if self.params.gc_depth:
+            # Retrieval/sync bookkeeping for rounds far behind the commit
+            # frontier is dead weight (the margin keeps off-critical-path
+            # block pulls for recently committed rounds alive).
+            floor = anchor.round - self.params.gc_depth
+            if floor > 0:
+                self.rbc.gc_below(floor)
+                self.sync.gc_below(floor)
 
     # -- round advancement ----------------------------------------------------------------
 
     def _on_timeout(self) -> None:
+        if self._crashed_local or self.sync.catching_up:
+            return  # defensive: these states cancel the timer on entry
         round_ = self.round
         self.timeout_fired.add(round_)
         if not self._leader_vertex_valid(round_) and round_ not in self.no_voted:
@@ -356,7 +388,7 @@ class SailfishNode:
         self._try_advance()
 
     def _try_advance(self) -> None:
-        if not self.started:
+        if not self.started or self._crashed_local or self.sync.catching_up:
             return
         round_ = self.round
         if self.params.max_rounds and round_ >= self.params.max_rounds:
@@ -381,6 +413,64 @@ class SailfishNode:
                 return  # the next leader needs the leader edge or an NVC
         self._timer.cancel()
         self._enter_round(next_round)
+
+    # -- crash/recovery -----------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """Fail-stop: freeze every node-local timer.
+
+        Without this, leader timers and pull retries keep firing while the
+        node is 'down', mutating its no-vote and round state so that on
+        recovery it acts on rounds it never legitimately observed."""
+        self._crashed_local = True
+        self._timer.cancel()
+        self.rbc.suspend_timers()
+        self.sync.suspend()
+
+    def _on_recover(self) -> None:
+        """Rejoin with persisted (stale) state; catch-up closes the gap."""
+        self._crashed_local = False
+        if not self.started:
+            return
+        self.rbc.resume_timers()
+        self.sync.on_recover()
+        if self.sync.catching_up:
+            return  # rejoin() restarts the timer once caught up
+        if not (self.params.max_rounds and self.round > self.params.max_rounds):
+            self._timer.start(self.params.leader_timeout)
+        self._try_advance()
+
+    def ingest_synced_vertex(self, vertex: Vertex) -> None:
+        """Replay a pulled vertex through the ordinary delivery path, so vote
+        counting, commits, and ordering are identical to a live delivery."""
+        self._on_vertex_delivered(vertex)
+
+    def rejoin(self, frontier: Round) -> None:
+        """Fast-forward into live rounds after catch-up.
+
+        Jumps straight to ``frontier + 1`` without proposing for any skipped
+        round (stale-round vertices would only bloat peers' DAGs)."""
+        next_round = frontier + 1
+        if next_round <= self.round:
+            # The gap closed behind our current round: resume in place.
+            if not (self.params.max_rounds and self.round > self.params.max_rounds):
+                self._timer.start(self.params.leader_timeout)
+            self._try_advance()
+            return
+        propose = True
+        if self.schedule.leader(next_round) == self.node_id:
+            # A leader vertex needs the previous leader edge or an NVC; a
+            # freshly recovered leader may hold neither — skip proposing
+            # rather than emit an invalid vertex (the tribe no-votes us).
+            prev_leader = self.schedule.leader(frontier)
+            strong = self._strong_edges(next_round)
+            if (
+                not any(ref.source == prev_leader for ref in strong)
+                and len(self.no_votes[frontier]) < self.cfg.quorum
+            ):
+                propose = False
+        self._enter_round(next_round, propose=propose)
+        self._try_advance()
 
     # -- block handling ------------------------------------------------------------------
 

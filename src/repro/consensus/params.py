@@ -22,6 +22,15 @@ class ProtocolParams:
         retry_timeout: initial retry interval for block/vertex pulls.
         max_rounds: stop proposing after this round (0 = unlimited); the
             benchmark harness uses it to bound runs.
+        catchup: enable the crash-recovery/lagging-node DAG synchronizer
+            (:mod:`repro.consensus.sync`).
+        sync_gap_threshold: how many rounds behind the observed frontier a
+            node may fall before it enters catch-up mode.
+        sync_batch_rounds: rounds of vertices requested per sync pull.
+        sync_retry_timeout: initial retry interval for sync pulls (backs off
+            exponentially, capped, like payload pulls).
+        gc_depth: rounds of retrieval state kept behind the commit frontier
+            before garbage collection (0 disables GC).
     """
 
     rbc_mode: str = "two-round"
@@ -29,6 +38,11 @@ class ProtocolParams:
     verify_signatures: bool = True
     retry_timeout: float = 0.25
     max_rounds: int = 0
+    catchup: bool = True
+    sync_gap_threshold: int = 5
+    sync_batch_rounds: int = 20
+    sync_retry_timeout: float = 0.5
+    gc_depth: int = 8
 
     def __post_init__(self) -> None:
         if self.rbc_mode not in ("two-round", "bracha"):
@@ -39,3 +53,11 @@ class ProtocolParams:
             raise ConfigError("retry_timeout must be positive")
         if self.max_rounds < 0:
             raise ConfigError("max_rounds cannot be negative")
+        if self.sync_gap_threshold < 1:
+            raise ConfigError("sync_gap_threshold must be at least 1")
+        if self.sync_batch_rounds < 1:
+            raise ConfigError("sync_batch_rounds must be at least 1")
+        if self.sync_retry_timeout <= 0:
+            raise ConfigError("sync_retry_timeout must be positive")
+        if self.gc_depth < 0:
+            raise ConfigError("gc_depth cannot be negative")

@@ -496,6 +496,29 @@ class VertexRbc:
             state.vertex = vertex
         self._maybe_finish(origin, round_, state)
 
+    # -- housekeeping ---------------------------------------------------------------
+
+    def gc_below(self, round_: Round) -> None:
+        """Garbage-collect retrieval state for instances with round < ``round_``.
+
+        Called by the node as its commit frontier advances; pull-client
+        entries (with their retry timers) and pull-server rate-limit records
+        for long-committed rounds would otherwise accumulate forever."""
+        self._block_retriever.gc_below(round_)
+        self._vertex_retriever.gc_below(round_)
+        self._block_responder.gc_below(round_)
+        self._vertex_responder.gc_below(round_)
+
+    def suspend_timers(self) -> None:
+        """Crash: stop all local retry timers (no requests from the grave)."""
+        self._block_retriever.suspend()
+        self._vertex_retriever.suspend()
+
+    def resume_timers(self) -> None:
+        """Recovery: restart suspended pulls."""
+        self._block_retriever.resume()
+        self._vertex_retriever.resume()
+
     def _lookup_block(self, origin: NodeId, round_: Round) -> Block | None:
         state = self.instances.get((origin, round_))
         return state.block if state else None

@@ -17,8 +17,18 @@ optional :class:`~repro.net.cpu.CpuModel`, reproducing the latency growth with
 ``n`` reported in §7.
 """
 
-from .adversary import DelayAdversary, PartialSynchronyAdversary
+from .adversary import DelayAdversary, PartialSynchronyAdversary, TargetedDelayAdversary
 from .cpu import CpuModel
+from .faults import (
+    ChurnEvent,
+    ChurnSchedule,
+    CompositeFault,
+    LinkFault,
+    LossyLink,
+    Partition,
+    PartitionAdversary,
+    partition,
+)
 from .latency import (
     GCP_REGIONS,
     GCP_RTT_MS,
@@ -29,11 +39,22 @@ from .latency import (
 )
 from .message import Message
 from .network import Network, NetworkStats
+from .transport import ReliableTransport
 
 __all__ = [
     "Message",
     "Network",
     "NetworkStats",
+    "ReliableTransport",
+    "LinkFault",
+    "LossyLink",
+    "Partition",
+    "partition",
+    "PartitionAdversary",
+    "CompositeFault",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "TargetedDelayAdversary",
     "LatencyModel",
     "UniformLatencyModel",
     "GeoLatencyModel",

@@ -2,8 +2,10 @@
 
 Before GST the adversary may delay any message arbitrarily; after GST every
 message must arrive within Δ of being sent.  The adversary only *adds* delay —
-reliable links never drop messages (the standard assumption the paper's RBC
-machinery relies on).
+the reliable-link assumption the paper's RBC machinery relies on.  Message
+*loss*, duplication, and partitions are modelled separately by
+:mod:`repro.net.faults` (and repaired by :mod:`repro.net.transport`); delay
+adversaries and link-fault models compose freely on one network.
 """
 
 from __future__ import annotations

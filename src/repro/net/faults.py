@@ -1,0 +1,223 @@
+"""Link-level fault models: loss, duplication, partitions, churn.
+
+The paper's RBC machinery assumes reliable authenticated links.  This module
+*breaks* that assumption on purpose: a :class:`LinkFault` decides, per
+message copy, whether the physical network delivers it once (1), drops it
+(0), or duplicates it (≥2).  The reliable-link abstraction is then *rebuilt*
+on top by :class:`~repro.net.transport.ReliableTransport`, the way production
+BFT systems implement reliable channels over UDP/TCP-with-resets — so the
+protocol layers above stay unchanged while the evaluation exercises real
+degraded-path behaviour.
+
+Fault models compose orthogonally with :class:`~repro.net.adversary.DelayAdversary`
+(which only ever *delays*): the :class:`~repro.net.network.Network` takes both,
+applies the fault model to decide copy counts, and the delay adversary to
+decide per-copy extra latency.
+
+Loopback (``src == dst``) traffic never traverses the wire and is exempt from
+all fault models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+from ..sim.rng import make_rng
+from ..types import NodeId
+from .message import Message
+
+
+class LinkFault:
+    """Base fault model: a perfect link (every message delivered once)."""
+
+    def copies(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> int:
+        """How many copies of ``msg`` the wire delivers (0 = dropped)."""
+        return 1
+
+
+class LossyLink(LinkFault):
+    """Independent per-link drop/duplicate probabilities.
+
+    Every directed link ``(src, dst)`` owns its own named RNG stream derived
+    from the master seed, so runs are deterministic and changing traffic on
+    one link never perturbs the coin flips of another.
+    """
+
+    def __init__(
+        self,
+        drop_prob: float,
+        duplicate_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_prob < 1.0:
+            raise ConfigError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        if not 0.0 <= duplicate_prob < 1.0:
+            raise ConfigError(f"duplicate_prob must be in [0, 1), got {duplicate_prob}")
+        if drop_prob + duplicate_prob >= 1.0:
+            raise ConfigError("drop_prob + duplicate_prob must stay below 1")
+        self.drop_prob = drop_prob
+        self.duplicate_prob = duplicate_prob
+        self.seed = seed
+        self._rngs: dict[tuple[NodeId, NodeId], object] = {}
+
+    def _rng(self, src: NodeId, dst: NodeId):
+        rng = self._rngs.get((src, dst))
+        if rng is None:
+            rng = self._rngs[(src, dst)] = make_rng(self.seed, "lossy-link", src, dst)
+        return rng
+
+    def copies(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> int:
+        draw = self._rng(src, dst).random()
+        if draw < self.drop_prob:
+            return 0
+        if draw < self.drop_prob + self.duplicate_prob:
+            return 2
+        return 1
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One scripted network split: active on ``[start, end)``.
+
+    ``groups`` lists disjoint sets of nodes; traffic is delivered only within
+    a group.  Nodes appearing in no group form one implicit extra group, so
+    ``Partition(3.0, 8.0, ({0, 1, 2},))`` splits nodes 0–2 from everyone else.
+    """
+
+    start: float
+    end: float
+    groups: tuple[frozenset[NodeId], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(f"partition window [{self.start}, {self.end}) is empty")
+        seen: set[NodeId] = set()
+        for group in self.groups:
+            if seen & group:
+                raise ConfigError(f"partition groups overlap: {sorted(seen & group)}")
+            seen |= group
+
+    def severs(self, src: NodeId, dst: NodeId) -> bool:
+        """Does this partition cut the ``src -> dst`` link while active?"""
+        src_group = dst_group = None
+        for idx, group in enumerate(self.groups):
+            if src in group:
+                src_group = idx
+            if dst in group:
+                dst_group = idx
+        # None = the implicit "rest" group.
+        return src_group != dst_group
+
+
+def partition(start: float, end: float, *groups: Iterable[NodeId]) -> Partition:
+    """Convenience constructor: ``partition(3, 8, {0, 1, 2})``."""
+    return Partition(start, end, tuple(frozenset(g) for g in groups))
+
+
+class PartitionAdversary(LinkFault):
+    """Drops all traffic crossing a scripted sequence of splits.
+
+    Messages are cut at *send* time: a message sent during an active split
+    toward the far side is lost, exactly like a discarded IP packet.  Heal is
+    instantaneous at each window's ``end`` — composition with
+    :class:`~repro.net.transport.ReliableTransport` then demonstrates the GST
+    argument: retransmission restores every lost message after heal.
+    """
+
+    def __init__(self, schedule: Sequence[Partition]) -> None:
+        self.schedule = tuple(schedule)
+
+    def copies(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> int:
+        for split in self.schedule:
+            if split.start <= now < split.end and split.severs(src, dst):
+                return 0
+        return 1
+
+    @property
+    def heal_time(self) -> float:
+        """When the last scripted split heals (0.0 with an empty schedule)."""
+        return max((split.end for split in self.schedule), default=0.0)
+
+
+class CompositeFault(LinkFault):
+    """Combines fault models: any drop wins; duplicate counts multiply."""
+
+    def __init__(self, models: Sequence[LinkFault]) -> None:
+        self.models = tuple(models)
+
+    def copies(self, src: NodeId, dst: NodeId, msg: Message, now: float) -> int:
+        total = 1
+        for model in self.models:
+            n = model.copies(src, dst, msg, now)
+            if n == 0:
+                return 0
+            total *= n
+        return total
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scripted lifecycle change of a node."""
+
+    time: float
+    node: NodeId
+    action: str  # "crash" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError("churn event time cannot be negative")
+        if self.action not in ("crash", "recover"):
+            raise ConfigError(f"unknown churn action {self.action!r}")
+
+
+class ChurnSchedule:
+    """Scripted crash/recover events, installed onto a simulator + network."""
+
+    def __init__(self, events: Iterable[ChurnEvent]) -> None:
+        self.events = tuple(sorted(events, key=lambda e: (e.time, e.node)))
+
+    @classmethod
+    def outages(
+        cls, spec: Iterable[tuple[NodeId, float, float | None]]
+    ) -> "ChurnSchedule":
+        """Build from ``(node, down_at, up_at)`` triples (``up_at=None``:
+        the node stays down)."""
+        events: list[ChurnEvent] = []
+        for node, down_at, up_at in spec:
+            events.append(ChurnEvent(down_at, node, "crash"))
+            if up_at is not None:
+                if up_at <= down_at:
+                    raise ConfigError(
+                        f"node {node} recovery at {up_at} precedes crash at {down_at}"
+                    )
+                events.append(ChurnEvent(up_at, node, "recover"))
+        return cls(events)
+
+    def install(self, sim, network) -> None:
+        """Schedule every event (idempotent per instance: call once)."""
+        for event in self.events:
+            action = network.crash if event.action == "crash" else network.recover
+            sim.schedule_at(event.time, action, event.node)
+
+    def downtime_of(self, node: NodeId) -> list[tuple[float, float | None]]:
+        """The ``(down_at, up_at)`` windows of one node (``None`` = forever)."""
+        windows: list[tuple[float, float | None]] = []
+        down_at: float | None = None
+        for event in self.events:
+            if event.node != node:
+                continue
+            if event.action == "crash" and down_at is None:
+                down_at = event.time
+            elif event.action == "recover" and down_at is not None:
+                windows.append((down_at, event.time))
+                down_at = None
+        if down_at is not None:
+            windows.append((down_at, None))
+        return windows
+
+    @property
+    def settle_time(self) -> float:
+        """Time of the last scripted event (0.0 when empty)."""
+        return self.events[-1].time if self.events else 0.0

@@ -24,6 +24,7 @@ from ..sim.scheduler import Simulator
 from ..types import NodeId
 from .adversary import DelayAdversary
 from .cpu import CpuModel
+from .faults import LinkFault
 from .latency import LatencyModel, UniformLatencyModel
 from .message import Message
 
@@ -33,12 +34,24 @@ Handler = Callable[[NodeId, Message], None]
 class NetworkStats:
     """Aggregate traffic counters, per node and per message kind."""
 
-    __slots__ = ("bytes_sent", "bytes_received", "messages_sent", "bytes_by_kind", "messages_by_kind")
+    __slots__ = (
+        "bytes_sent",
+        "bytes_received",
+        "messages_sent",
+        "messages_dropped",
+        "messages_duplicated",
+        "bytes_by_kind",
+        "messages_by_kind",
+    )
 
     def __init__(self, n: int) -> None:
         self.bytes_sent = [0] * n
         self.bytes_received = [0] * n
         self.messages_sent = [0] * n
+        #: Copies discarded by the link fault model (wire loss, partitions).
+        self.messages_dropped = 0
+        #: Extra copies injected by the link fault model.
+        self.messages_duplicated = 0
         self.bytes_by_kind: dict[str, int] = defaultdict(int)
         self.messages_by_kind: dict[str, int] = defaultdict(int)
 
@@ -62,6 +75,7 @@ class Network:
         bandwidth_bps: float | None = None,
         adversary: DelayAdversary | None = None,
         cpu: CpuModel | None = None,
+        faults: LinkFault | None = None,
         track_kinds: bool = False,
         tracer=None,
     ) -> None:
@@ -76,6 +90,8 @@ class Network:
         self._bytes_per_sec = bandwidth_bps / 8.0 if bandwidth_bps else None
         self.adversary = adversary if adversary is not None else DelayAdversary()
         self.cpu = cpu
+        #: Link fault model (loss/duplication/partitions); None = perfect wire.
+        self.faults = faults
         self.stats = NetworkStats(n)
         self._track_kinds = track_kinds
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -83,6 +99,8 @@ class Network:
         self._nic_free_at = [0.0] * n
         self._cpu_free_at = [0.0] * n
         self._crashed = [False] * n
+        #: Per-node (on_crash, on_recover) callback pairs.
+        self._lifecycle: dict[NodeId, list[tuple]] = defaultdict(list)
 
     def register(self, node_id: NodeId, handler: Handler) -> None:
         """Register the message handler for ``node_id``."""
@@ -90,13 +108,44 @@ class Network:
             raise NetworkError(f"node id {node_id} out of range (n={self.n})")
         self._handlers[node_id] = handler
 
+    def on_lifecycle(
+        self,
+        node_id: NodeId,
+        on_crash: Callable[[], None] | None = None,
+        on_recover: Callable[[], None] | None = None,
+    ) -> None:
+        """Register callbacks fired when ``node_id`` crashes / recovers.
+
+        Crash semantics are fail-stop with *persisted* state: the process
+        stops (its timers must stop firing — that is what ``on_crash`` hooks
+        implement) but durable state (the DAG store) survives to ``recover``.
+        """
+        if not 0 <= node_id < self.n:
+            raise NetworkError(f"node id {node_id} out of range (n={self.n})")
+        self._lifecycle[node_id].append((on_crash, on_recover))
+
     def crash(self, node_id: NodeId) -> None:
-        """Crash a node: it stops sending and receiving from now on."""
+        """Crash a node: it stops sending and receiving from now on.
+
+        Idempotent; fires registered ``on_crash`` callbacks exactly once per
+        transition so node-local timers are suppressed (a crashed node must
+        not keep proposing or voting from beyond the grave).
+        """
+        if self._crashed[node_id]:
+            return
         self._crashed[node_id] = True
+        for on_crash, _ in self._lifecycle.get(node_id, ()):
+            if on_crash is not None:
+                on_crash()
 
     def recover(self, node_id: NodeId) -> None:
-        """Undo :meth:`crash` (used by churn experiments)."""
+        """Undo :meth:`crash`; fires ``on_recover`` callbacks (catch-up)."""
+        if not self._crashed[node_id]:
+            return
         self._crashed[node_id] = False
+        for _, on_recover in self._lifecycle.get(node_id, ()):
+            if on_recover is not None:
+                on_recover()
 
     def is_crashed(self, node_id: NodeId) -> bool:
         return self._crashed[node_id]
@@ -140,6 +189,7 @@ class Network:
         if self._track_kinds:
             kind = msg.kind()
         per_byte = self._bytes_per_sec
+        faults = self.faults
         nic_free = self._nic_free_at[src]
         clock = now if now > nic_free else nic_free
         for dst in dsts:
@@ -151,15 +201,25 @@ class Network:
                 stats.bytes_by_kind[kind] += size
                 stats.messages_by_kind[kind] += 1
             if dst == src:
-                # Loopback: no NIC or propagation cost, but still event-driven
-                # so ordering semantics match remote deliveries.
+                # Loopback: no NIC or propagation cost (and no wire faults),
+                # but still event-driven so ordering semantics match remote
+                # deliveries.
                 sim.post(now, self._deliver, (src, dst, msg, size))
                 continue
             if per_byte is not None:
+                # The NIC serializes the copy whether or not the wire then
+                # loses it — loss happens in the network, not at the sender.
                 clock += size / per_byte
-            arrive = clock + self.latency.delay(src, dst)
-            arrive += self.adversary.extra_delay(src, dst, msg, now)
-            sim.post(arrive, self._deliver, (src, dst, msg, size))
+            copies = 1 if faults is None else faults.copies(src, dst, msg, now)
+            if copies == 0:
+                stats.messages_dropped += 1
+                continue
+            if copies > 1:
+                stats.messages_duplicated += copies - 1
+            for _ in range(copies):
+                arrive = clock + self.latency.delay(src, dst)
+                arrive += self.adversary.extra_delay(src, dst, msg, now)
+                sim.post(arrive, self._deliver, (src, dst, msg, size))
         self._nic_free_at[src] = clock
 
     def _transmit_traced(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
@@ -177,6 +237,7 @@ class Network:
         if self._track_kinds:
             kind = msg.kind()
         per_byte = self._bytes_per_sec
+        faults = self.faults
         nic_free = self._nic_free_at[src]
         clock = now if now > nic_free else nic_free
         for dst in dsts:
@@ -195,10 +256,22 @@ class Network:
             if per_byte is not None:
                 tx = size / per_byte
                 clock += tx
-            prop = self.latency.delay(src, dst)
-            prop += self.adversary.extra_delay(src, dst, msg, now)
-            arrive = clock + prop
-            sim.post(arrive, self._deliver, (src, dst, msg, size, (now, nic_wait, tx, prop)))
+            copies = 1 if faults is None else faults.copies(src, dst, msg, now)
+            if copies == 0:
+                stats.messages_dropped += 1
+                self._tracer.counter(
+                    "net.drop", node=src, dst=dst, kind=msg.kind(), size=size,
+                )
+                continue
+            if copies > 1:
+                stats.messages_duplicated += copies - 1
+            for _ in range(copies):
+                prop = self.latency.delay(src, dst)
+                prop += self.adversary.extra_delay(src, dst, msg, now)
+                arrive = clock + prop
+                sim.post(
+                    arrive, self._deliver, (src, dst, msg, size, (now, nic_wait, tx, prop))
+                )
         self._nic_free_at[src] = clock
 
     def _deliver(

@@ -83,6 +83,32 @@ class Retriever:
     def pending(self) -> set[InstanceKey]:
         return set(self._pending)
 
+    def gc_below(self, round_: Round) -> int:
+        """Drop (and stop retrying) fetches for instances older than
+        ``round_`` — their rounds have been committed/garbage-collected and
+        the payload can no longer matter.  Returns the number of entries
+        collected; without this, ``_pending`` (and its retry timers) grows
+        without bound when holders stay unresponsive forever."""
+        stale = [key for key in self._pending if key[1] < round_]
+        for key in stale:
+            state = self._pending.pop(key)
+            if state["timer"] is not None:
+                state["timer"].cancel()
+        return len(stale)
+
+    def suspend(self) -> None:
+        """Cancel all retry timers (crash: a dead node must not keep
+        requesting).  Pending state survives for :meth:`resume`."""
+        for state in self._pending.values():
+            if state["timer"] is not None:
+                state["timer"].cancel()
+                state["timer"] = None
+
+    def resume(self) -> None:
+        """Re-issue every suspended fetch (recovery)."""
+        for key in list(self._pending):
+            self._request(key)
+
     def _request(self, key: InstanceKey) -> None:
         state = self._pending.get(key)
         if state is None:
@@ -134,6 +160,18 @@ class Responder:
         self.max_responses = max_responses_per_requester
         self.channel = channel
         self._served: dict[tuple[InstanceKey, NodeId], int] = {}
+
+    def gc_below(self, round_: Round) -> int:
+        """Forget rate-limit records for instances older than ``round_``.
+
+        The records exist only to stop Byzantine requesters amplifying
+        traffic *within* an instance's lifetime; once the instance's round is
+        committed and garbage-collected they are dead weight.  Returns the
+        number of entries collected."""
+        stale = [key for key in self._served if key[0][1] < round_]
+        for key in stale:
+            del self._served[key]
+        return len(stale)
 
     def on_request(self, src: NodeId, msg: PayloadRequest) -> None:
         if msg.channel != self.channel:

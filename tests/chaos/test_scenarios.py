@@ -1,0 +1,174 @@
+"""Tests for the chaos scenario harness: schema, runner, invariants, CLI."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import (
+    ALL_SCENARIOS,
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    CrashSpec,
+    PartitionSpec,
+    Scenario,
+    build_deployment,
+    build_faults,
+    dump_scenarios,
+    get_scenario,
+    load_scenarios,
+    run_scenario,
+)
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.net.faults import CompositeFault, LossyLink, PartitionAdversary
+
+
+class TestScenarioSchema:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Scenario(name="tiny", n=3)
+        with pytest.raises(ConfigError):
+            Scenario(name="bad-byz", byzantine=((0, "sleeper"),))
+        with pytest.raises(ConfigError):
+            Scenario(name="oob", crashes=(CrashSpec(node=9, down_at=1.0),))
+        with pytest.raises(ConfigError):
+            # Settles at t=25 with a 5s margin but only 26s of runtime.
+            Scenario(
+                name="no-room",
+                duration=26.0,
+                crashes=(CrashSpec(node=0, down_at=5.0, up_at=25.0),),
+            )
+
+    def test_settle_time_and_recovered_nodes(self):
+        scenario = Scenario(
+            name="mix",
+            duration=40.0,
+            partitions=(PartitionSpec(start=2.0, end=6.0, groups=((0, 1),)),),
+            crashes=(
+                CrashSpec(node=2, down_at=3.0, up_at=12.0),
+                CrashSpec(node=3, down_at=8.0),
+            ),
+        )
+        assert scenario.settle_time == 12.0
+        assert scenario.recovered_nodes == (2,)
+        assert scenario.permanently_down == frozenset({3})
+
+    def test_reliable_defaults_on_for_lossy_links(self):
+        assert Scenario(name="a", drop_prob=0.01).use_reliable
+        assert Scenario(name="b", duplicate_prob=0.01).use_reliable
+        assert not Scenario(name="c").use_reliable
+        assert Scenario(name="d", reliable=True).use_reliable
+
+    def test_json_round_trip(self):
+        for scenario in ALL_SCENARIOS:
+            assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_load_scenarios_accepts_object_or_list(self):
+        one = SMOKE_SCENARIOS[0]
+        assert load_scenarios(one.to_json()) == [one]
+        assert load_scenarios(dump_scenarios(SMOKE_SCENARIOS)) == list(
+            SMOKE_SCENARIOS
+        )
+        with pytest.raises(ConfigError):
+            load_scenarios('{"name": "x", "warp_factor": 9}')
+
+    def test_get_scenario(self):
+        assert get_scenario("drop05").name == "drop05"
+        with pytest.raises(ConfigError):
+            get_scenario("nope")
+
+
+class TestFaultComposition:
+    def test_build_faults_shapes(self):
+        assert build_faults(Scenario(name="clean")) is None
+        assert isinstance(
+            build_faults(Scenario(name="lossy", drop_prob=0.1)), LossyLink
+        )
+        part = Scenario(
+            name="split",
+            duration=20.0,
+            partitions=(PartitionSpec(start=1.0, end=4.0, groups=((0,),)),),
+        )
+        assert isinstance(build_faults(part), PartitionAdversary)
+        both = replace(part, name="both", drop_prob=0.1)
+        assert isinstance(build_faults(both), CompositeFault)
+
+    def test_fault_budget_enforced(self):
+        over = Scenario(
+            name="over",
+            byzantine=((0, "silent"),),
+            crashes=(CrashSpec(node=1, down_at=1.0),),
+            settle_margin=1.0,
+        )
+        with pytest.raises(ConfigError):
+            build_deployment(over)
+
+
+class TestRunner:
+    def test_smoke_scenarios_pass(self):
+        # The exact CI gate: every smoke scenario must satisfy its invariants.
+        for scenario in SMOKE_SCENARIOS:
+            result = run_scenario(scenario)
+            assert result.ok, [
+                (c.name, c.detail) for c in result.failures
+            ]
+            assert result.stats["min_ordered"] >= scenario.min_commits
+
+    def test_scenario_runs_are_deterministic(self):
+        scenario = replace(get_scenario("drop05"), duration=8.0, min_commits=10)
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.stats == b.stats
+        assert [c.detail for c in a.checks] == [c.detail for c in b.checks]
+
+    def test_seed_changes_the_run(self):
+        scenario = replace(get_scenario("drop05"), duration=8.0, min_commits=10)
+        a = run_scenario(scenario)
+        b = run_scenario(replace(scenario, seed=scenario.seed + 1))
+        assert a.stats != b.stats
+
+    def test_impossible_bound_reports_failure(self):
+        scenario = replace(
+            get_scenario("drop05"), duration=6.0, min_commits=10**6
+        )
+        result = run_scenario(scenario)
+        assert not result.ok
+        assert any(c.name == "liveness.commits" for c in result.failures)
+
+
+class TestChaosCli:
+    def test_list(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["chaos", "not-a-scenario"]) == 2
+
+    def test_named_run_and_exit_codes(self, capsys):
+        assert main(["chaos", "partition_heal"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] partition_heal" in out
+        assert "1/1 scenarios passed" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        scenario = replace(
+            get_scenario("drop05"), name="from-file", duration=6.0, min_commits=5
+        )
+        path = tmp_path / "scenarios.json"
+        path.write_text(dump_scenarios([scenario]))
+        assert main(["chaos", "--file", str(path)]) == 0
+        assert "[PASS] from-file" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        scenario = replace(
+            get_scenario("drop05"),
+            name="doomed",
+            duration=6.0,
+            min_commits=10**6,
+        )
+        path = tmp_path / "scenarios.json"
+        path.write_text(dump_scenarios([scenario]))
+        assert main(["chaos", "--file", str(path)]) == 1
+        assert "[FAIL] doomed" in capsys.readouterr().out

@@ -1,0 +1,235 @@
+"""Tests for link fault models and their composition with the network."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.adversary import TargetedDelayAdversary
+from repro.net.faults import (
+    ChurnEvent,
+    ChurnSchedule,
+    CompositeFault,
+    LinkFault,
+    LossyLink,
+    Partition,
+    PartitionAdversary,
+    partition,
+)
+from repro.net.latency import UniformLatencyModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Simulator
+
+
+class Blob(Message):
+    __slots__ = ("size", "signed")
+
+    def __init__(self, size=100, signed=False):
+        self.size = size
+        self.signed = signed
+
+    def wire_size(self):
+        return self.size
+
+
+def make_net(n=4, faults=None, adversary=None, latency=0.05):
+    sim = Simulator()
+    net = Network(
+        sim,
+        n,
+        latency=UniformLatencyModel(latency),
+        faults=faults,
+        adversary=adversary,
+    )
+    inbox = [[] for _ in range(n)]
+    for i in range(n):
+        net.register(i, lambda src, msg, i=i: inbox[i].append((sim.now, src, msg)))
+    return sim, net, inbox
+
+
+class TestLossyLink:
+    def test_validates_probabilities(self):
+        with pytest.raises(ConfigError):
+            LossyLink(1.0)
+        with pytest.raises(ConfigError):
+            LossyLink(-0.1)
+        with pytest.raises(ConfigError):
+            LossyLink(0.6, duplicate_prob=0.5)
+
+    def test_zero_probabilities_are_a_perfect_link(self):
+        link = LossyLink(0.0)
+        assert all(link.copies(0, 1, None, 0.0) == 1 for _ in range(50))
+
+    def test_drop_rate_approximates_probability(self):
+        link = LossyLink(0.3, seed=5)
+        outcomes = [link.copies(0, 1, None, 0.0) for _ in range(2000)]
+        drop_rate = outcomes.count(0) / len(outcomes)
+        assert 0.25 < drop_rate < 0.35
+
+    def test_deterministic_per_seed_and_link(self):
+        a = [LossyLink(0.3, 0.1, seed=9).copies(0, 1, None, 0.0) for _ in range(100)]
+        b = [LossyLink(0.3, 0.1, seed=9).copies(0, 1, None, 0.0) for _ in range(100)]
+        c = [LossyLink(0.3, 0.1, seed=10).copies(0, 1, None, 0.0) for _ in range(100)]
+        assert a == b
+        assert a != c
+
+    def test_links_use_independent_streams(self):
+        link = LossyLink(0.5, seed=3)
+        ab = [link.copies(0, 1, None, 0.0) for _ in range(100)]
+        link2 = LossyLink(0.5, seed=3)
+        # Interleaving traffic on another link must not perturb (0, 1).
+        ab_interleaved = []
+        for _ in range(100):
+            link2.copies(2, 3, None, 0.0)
+            ab_interleaved.append(link2.copies(0, 1, None, 0.0))
+        assert ab == ab_interleaved
+
+    def test_network_drops_and_duplicates(self):
+        sim, net, inbox = make_net(faults=LossyLink(0.3, 0.1, seed=1))
+        for _ in range(300):
+            net.send(0, 1, Blob())
+        sim.run()
+        delivered = len(inbox[1])
+        assert net.stats.messages_dropped > 50
+        assert net.stats.messages_duplicated > 10
+        assert (
+            delivered
+            == 300 - net.stats.messages_dropped + net.stats.messages_duplicated
+        )
+
+    def test_loopback_is_exempt(self):
+        sim, net, inbox = make_net(faults=LossyLink(0.9, seed=1))
+        for _ in range(50):
+            net.send(0, 0, Blob())
+        sim.run()
+        assert len(inbox[0]) == 50
+        assert net.stats.messages_dropped == 0
+
+
+class TestPartition:
+    def test_window_and_group_validation(self):
+        with pytest.raises(ConfigError):
+            Partition(5.0, 5.0, (frozenset({0}),))
+        with pytest.raises(ConfigError):
+            Partition(0.0, 1.0, (frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_severs_across_groups_only(self):
+        split = partition(0.0, 10.0, {0, 1}, {2, 3})
+        assert split.severs(0, 2)
+        assert split.severs(3, 1)
+        assert not split.severs(0, 1)
+        assert not split.severs(2, 3)
+
+    def test_implicit_rest_group(self):
+        split = partition(0.0, 10.0, {0, 1})
+        assert split.severs(0, 2)
+        assert not split.severs(2, 3)  # both in the implicit remainder
+
+    def test_adversary_cuts_only_inside_window(self):
+        adv = PartitionAdversary([partition(2.0, 4.0, {0})])
+        assert adv.copies(0, 1, None, 1.0) == 1
+        assert adv.copies(0, 1, None, 2.0) == 0
+        assert adv.copies(0, 1, None, 3.999) == 0
+        assert adv.copies(0, 1, None, 4.0) == 1
+        assert adv.heal_time == 4.0
+
+    def test_network_heals_after_window(self):
+        adv = PartitionAdversary([partition(0.0, 5.0, {0, 1})])
+        sim, net, inbox = make_net(faults=adv)
+        net.send(0, 2, Blob())  # cut at send time
+        sim.run()
+        assert inbox[2] == []
+        sim.schedule_at(6.0, lambda: net.send(0, 2, Blob()))
+        sim.run()
+        assert len(inbox[2]) == 1
+
+
+class TestCompositeFault:
+    def test_any_drop_wins_and_duplicates_multiply(self):
+        class Fixed(LinkFault):
+            def __init__(self, n):
+                self.n = n
+
+            def copies(self, src, dst, msg, now):
+                return self.n
+
+        assert CompositeFault([Fixed(2), Fixed(3)]).copies(0, 1, None, 0.0) == 6
+        assert CompositeFault([Fixed(0), Fixed(3)]).copies(0, 1, None, 0.0) == 0
+        assert CompositeFault([]).copies(0, 1, None, 0.0) == 1
+
+    def test_composes_with_targeted_delay_adversary(self):
+        # Faults decide copy counts; the delay adversary shifts each copy.
+        adv = TargetedDelayAdversary(victims={1}, extra=2.0)
+        sim, net, inbox = make_net(
+            faults=LossyLink(0.0, duplicate_prob=0.5, seed=2), adversary=adv
+        )
+        for _ in range(40):
+            net.send(0, 1, Blob())
+        sim.run()
+        assert net.stats.messages_duplicated > 5
+        assert len(inbox[1]) == 40 + net.stats.messages_duplicated
+        # Every copy toward the targeted node carries the extra delay.
+        assert min(when for when, _, _ in inbox[1]) >= 2.0
+
+
+class TestChurnSchedule:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChurnEvent(-1.0, 0, "crash")
+        with pytest.raises(ConfigError):
+            ChurnEvent(1.0, 0, "reboot")
+        with pytest.raises(ConfigError):
+            ChurnSchedule.outages([(0, 5.0, 4.0)])
+
+    def test_outages_and_downtime(self):
+        churn = ChurnSchedule.outages([(1, 2.0, 6.0), (2, 3.0, None)])
+        assert churn.downtime_of(1) == [(2.0, 6.0)]
+        assert churn.downtime_of(2) == [(3.0, None)]
+        assert churn.downtime_of(0) == []
+        assert churn.settle_time == 6.0
+
+    def test_install_crashes_and_recovers(self):
+        churn = ChurnSchedule.outages([(1, 1.0, 3.0)])
+        sim, net, inbox = make_net()
+        churn.install(sim, net)
+        sim.run(until=2.0)
+        assert net.is_crashed(1)
+        net.send(0, 1, Blob())
+        sim.run(until=2.9)
+        assert inbox[1] == []  # dropped while down
+        sim.run(until=4.0)
+        assert not net.is_crashed(1)
+        net.send(0, 1, Blob())
+        sim.run()
+        assert len(inbox[1]) == 1
+
+
+class TestNetworkRecover:
+    def test_recover_restores_delivery(self):
+        sim, net, inbox = make_net()
+        net.crash(2)
+        net.send(0, 2, Blob())
+        sim.run()
+        assert inbox[2] == []
+        net.recover(2)
+        net.send(0, 2, Blob())
+        sim.run()
+        assert len(inbox[2]) == 1
+
+    def test_crash_and_recover_are_idempotent(self):
+        sim, net, _ = make_net()
+        fired = []
+        net.on_lifecycle(1, on_crash=lambda: fired.append("crash"),
+                         on_recover=lambda: fired.append("recover"))
+        net.crash(1)
+        net.crash(1)
+        net.recover(1)
+        net.recover(1)
+        assert fired == ["crash", "recover"]
+
+    def test_lifecycle_callbacks_fire_in_registration_order(self):
+        sim, net, _ = make_net()
+        fired = []
+        net.on_lifecycle(0, on_crash=lambda: fired.append("a"))
+        net.on_lifecycle(0, on_crash=lambda: fired.append("b"))
+        net.crash(0)
+        assert fired == ["a", "b"]

@@ -123,3 +123,43 @@ def test_backoff_growth_bounded():
     requests = net.stats.messages_sent[0]
     assert requests < 40
     assert retriever.pending == {(9, 1)}  # still trying (eventual delivery)
+
+
+def test_gc_below_drops_stale_fetches_and_timers():
+    sim, net, retriever, got, _ = build(holders_have=False)
+    retriever.fetch(9, 1, payload_digest(b"a"), holders=[1])
+    retriever.fetch(9, 2, payload_digest(b"b"), holders=[1])
+    retriever.fetch(9, 7, payload_digest(b"c"), holders=[1])
+    sim.run(until=1.0)
+    events_mid = sim.processed_events
+    assert retriever.gc_below(3) == 2
+    assert retriever.pending == {(9, 7)}
+    # The collected fetches' retry timers are cancelled: only (9, 7) keeps
+    # generating traffic afterwards.
+    sim.run(until=2.0)
+    assert retriever.gc_below(3) == 0  # idempotent
+    assert sim.processed_events > events_mid
+
+
+def test_retriever_suspend_and_resume():
+    sim, net, retriever, got, _ = build()
+    net.crash(1)
+    retriever.fetch(9, 1, payload_digest(PAYLOAD), holders=[1, 2])
+    retriever.suspend()
+    sim.run(until=5.0)
+    assert got == []  # no retries while suspended
+    retriever.resume()
+    sim.run(until=10.0)
+    assert got == [(9, 1, PAYLOAD)]
+
+
+def test_responder_gc_below_drops_rate_limit_records():
+    sim, net, retriever, got, responders = build()
+    responder = responders[0]
+    responder._served[((9, 1), 0)] = 1
+    responder._served[((9, 8), 2)] = 1
+    assert responder.gc_below(5) == 1
+    assert ((9, 8), 2) in responder._served
+    # A request for a collected instance is served afresh (the instance's
+    # round was committed, so amplification is no longer a concern there).
+    assert ((9, 1), 0) not in responder._served
