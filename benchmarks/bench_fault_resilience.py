@@ -13,6 +13,7 @@ downtime fraction of the fault-free throughput.
 """
 
 from repro.bench.metrics import measure_run
+from repro.bench.parallel import run_tasks
 from repro.committees.config import ClanConfig
 from repro.consensus import Deployment, ProtocolParams
 from repro.net.faults import ChurnSchedule, LossyLink
@@ -62,29 +63,39 @@ def _run_cell(drop_rate: float, crashes: int, seed: int = 17):
     return deployment, metrics
 
 
-def _sweep():
-    rows = []
-    baseline_tps = None
-    for crashes in CRASH_COUNTS:
-        for drop_rate in DROP_RATES:
-            deployment, metrics = _run_cell(drop_rate, crashes)
-            if baseline_tps is None:
-                baseline_tps = metrics.throughput_tps  # (0 drop, 0 crash) cell
-            rows.append(
-                {
-                    "drop_rate": drop_rate,
-                    "crashes": crashes,
-                    "throughput_ktps": round(metrics.throughput_tps / 1000.0, 2),
-                    "vs_baseline": round(
-                        metrics.throughput_tps / baseline_tps, 3
-                    ),
-                    "avg_latency_s": round(metrics.avg_latency_s, 3),
-                    "p95_latency_s": round(metrics.p95_latency_s, 3),
-                    "rounds": metrics.rounds,
-                    "retransmissions": deployment.network.retransmissions,
-                    "dropped": deployment.base_network.stats.messages_dropped,
-                }
-            )
+def _cell_row(drop_rate: float, crashes: int) -> dict:
+    """One grid cell as a picklable row (asserts run inside the worker)."""
+    deployment, metrics = _run_cell(drop_rate, crashes)
+    return {
+        "drop_rate": drop_rate,
+        "crashes": crashes,
+        "throughput_tps": metrics.throughput_tps,
+        "throughput_ktps": round(metrics.throughput_tps / 1000.0, 2),
+        "avg_latency_s": round(metrics.avg_latency_s, 3),
+        "p95_latency_s": round(metrics.p95_latency_s, 3),
+        "rounds": metrics.rounds,
+        "retransmissions": deployment.network.retransmissions,
+        "dropped": deployment.base_network.stats.messages_dropped,
+    }
+
+
+def _sweep(jobs=None):
+    """The drop × crash grid, fanned out via the parallel engine.
+
+    Cells are independent seeded simulations; :func:`run_tasks` merges rows
+    back in grid order, so ``vs_baseline`` (relative to the fault-free first
+    cell) and the CSV are identical at any worker count.
+    """
+    cells = [
+        (drop_rate, crashes)
+        for crashes in CRASH_COUNTS
+        for drop_rate in DROP_RATES
+    ]
+    rows = run_tasks([(_cell_row, cell) for cell in cells], jobs=jobs)
+    baseline_tps = rows[0]["throughput_tps"]  # (0 drop, 0 crash) cell
+    for row in rows:
+        tps = row.pop("throughput_tps")
+        row["vs_baseline"] = round(tps / baseline_tps, 3)
     return rows
 
 

@@ -12,6 +12,7 @@ measures block commit latency in δ units.
 """
 
 
+from repro.bench.parallel import run_tasks
 from repro.committees import ClanConfig
 from repro.consensus import Deployment, ProtocolParams
 from repro.net.latency import UniformLatencyModel
@@ -74,8 +75,9 @@ def _clan_dag_latency() -> dict:
     }
 
 
-def _compare():
-    return [_clan_dag_latency(), _strawman_latency()]
+def _compare(jobs=None):
+    # Two independent simulations; fan out (REPRO_JOBS) with a grid-order merge.
+    return run_tasks([(_clan_dag_latency, ()), (_strawman_latency, ())], jobs=jobs)
 
 
 def test_strawman_vs_clan_dag_latency(benchmark):

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Perf benchmark: core speed (events/sec) + parallel-engine speedup.
+
+Produces ``BENCH_perf.json`` with
+
+* **core speed** — simulator events per wall second on the smoke
+  configuration (best of ``--trials``), comparable against the
+  pre-optimization figure via ``--baseline-eps``;
+* **grid timing** — one fig5a-shaped (protocol × load) grid run serially and
+  through the parallel engine (``--jobs``), with the identical-results check
+  the engine guarantees (merge by grid index, never completion order).
+
+Wall-clock speedup only materializes with real cores: ``--check`` asserts
+``speedup >= --min-speedup`` **only when the machine has >= 4 CPUs** (a
+single-core runner legitimately shows ~1x; the determinism check still runs).
+
+Usage::
+
+    python scripts/bench_perf.py --out BENCH_perf.json --jobs 4
+    python scripts/bench_perf.py --check --jobs 4 --min-speedup 2.5
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.experiments import figure_geometry, point_config  # noqa: E402
+from repro.bench.parallel import clear_memory_cache, run_grid  # noqa: E402
+from repro.bench.profiling import SMOKE_CONFIG  # noqa: E402
+from repro.bench.runner import _simulate  # noqa: E402
+
+
+def measure_core_speed(trials: int) -> dict:
+    """Best-of-N events/sec on the smoke config (uncached, in-process)."""
+    eps_trials = []
+    sim_events = 0
+    for _ in range(trials):
+        start = time.perf_counter()
+        metrics = _simulate(SMOKE_CONFIG)
+        wall = time.perf_counter() - start
+        sim_events = metrics.sim_events
+        eps_trials.append(round(metrics.sim_events / wall, 1))
+    return {
+        "sim_events": sim_events,
+        "trials": eps_trials,
+        "best": max(eps_trials),
+    }
+
+
+def perf_grid():
+    """A fig5a-shaped grid: 2 protocols × 3 loads at the current scale."""
+    geom = figure_geometry("fig5a")
+    return [
+        point_config(protocol, geom, load, 400e6, 4e-6)
+        for protocol in ("sailfish", "single-clan")
+        for load in (32, 250, 1000)
+    ]
+
+
+def measure_grid(jobs: int) -> dict:
+    configs = perf_grid()
+    clear_memory_cache()
+    start = time.perf_counter()
+    serial = run_grid(configs, jobs=1, cache=False)
+    serial_wall = time.perf_counter() - start
+    clear_memory_cache()
+    start = time.perf_counter()
+    fanned = run_grid(configs, jobs=jobs, cache=False)
+    parallel_wall = time.perf_counter() - start
+    return {
+        "points": len(configs),
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 2) if parallel_wall else 0.0,
+        "identical_results": serial == fanned,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--jobs", type=int, default=min(4, os.cpu_count() or 1),
+        help="workers for the parallel grid run (default: min(4, cpus))",
+    )
+    parser.add_argument(
+        "--baseline-eps", type=float, default=None,
+        help="pre-optimization events/sec on the same machine (for the ratio)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on non-identical results, or (with >= 4 CPUs) low speedup",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.5,
+        help="required grid speedup when the machine has >= 4 CPUs",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    core = measure_core_speed(args.trials)
+    grid = measure_grid(args.jobs)
+    result = {
+        "cpus": cpus,
+        "core_speed": core,
+        "grid": grid,
+    }
+    if args.baseline_eps:
+        result["core_speed"]["baseline"] = args.baseline_eps
+        result["core_speed"]["vs_baseline"] = round(core["best"] / args.baseline_eps, 3)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"core speed: {core['best']:,.0f} events/sec "
+        f"(trials: {', '.join(f'{t:,.0f}' for t in core['trials'])})"
+    )
+    print(
+        f"grid ({grid['points']} points): serial {grid['serial_wall_s']:.1f} s, "
+        f"jobs={grid['jobs']} {grid['parallel_wall_s']:.1f} s "
+        f"-> {grid['speedup']:.2f}x on {cpus} CPU(s), "
+        f"identical={grid['identical_results']}"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if not grid["identical_results"]:
+            print("FAIL: parallel grid results differ from serial", file=sys.stderr)
+            return 1
+        if cpus >= 4 and grid["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: speedup {grid['speedup']:.2f}x < {args.min_speedup:.2f}x "
+                f"on a {cpus}-CPU machine",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: perf checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

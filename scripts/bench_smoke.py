@@ -2,9 +2,13 @@
 """Perf smoke benchmark: one small deterministic run, gated against a baseline.
 
 Runs a scaled-down single-clan configuration (< 60 s wall) and emits
-``BENCH_smoke.json`` with both the *simulated* metrics (deterministic across
-machines — the regression gate) and the wall-clock time (informational only;
-CI runners are too noisy to gate on).
+``BENCH_smoke.json`` with
+
+* the *simulated* metrics (deterministic across machines — the regression
+  gate on protocol behavior),
+* ``sim_events`` (deterministic — any change is a real behavioral change), and
+* ``events_per_sec`` = sim_events / wall (the core-speed gate: catches
+  simulator slowdowns; loosely toleranced because CI runners are noisy).
 
 Usage::
 
@@ -13,9 +17,11 @@ Usage::
     python scripts/bench_smoke.py --update-baseline               # refresh baseline
 
 ``--check`` exits non-zero if simulated throughput drops more than
-``--tolerance`` (default 20%) below ``benchmarks/baselines/smoke.json``.
-Because the simulation is deterministic, any change here is a real behavioral
-change in the protocol stack, not machine noise.
+``--tolerance`` (default 20%) below ``benchmarks/baselines/smoke.json``, or
+if events/sec drops more than ``--eps-tolerance`` (default 60%) below the
+baseline.  ``--jobs`` routes the run through the parallel engine
+(:func:`repro.bench.parallel.run_grid`) — with one config it mostly checks
+the engine itself; results are identical at any worker count.
 """
 
 import argparse
@@ -27,26 +33,20 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.bench.runner import ExperimentConfig, run_experiment  # noqa: E402
+from repro.bench.parallel import run_grid  # noqa: E402
+from repro.bench.profiling import SMOKE_CONFIG  # noqa: E402
+from repro.bench.runner import _simulate  # noqa: E402
 
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baselines", "smoke.json")
 
-#: The smoke configuration: small enough for <60 s wall anywhere, big enough
-#: to exercise RBC, commit, and the NIC queueing model.
-SMOKE_CONFIG = ExperimentConfig(
-    protocol="single-clan",
-    n=12,
-    clan_size=6,
-    txns_per_proposal=250,
-    bandwidth_bps=400e6,
-    duration=6.0,
-    warmup=2.0,
-)
 
-
-def run_smoke() -> dict:
+def run_smoke(jobs: int = 0) -> dict:
     start = time.perf_counter()
-    metrics = run_experiment(SMOKE_CONFIG)
+    if jobs:
+        # Through the parallel engine (cache off: the gate must simulate).
+        metrics = run_grid([SMOKE_CONFIG], jobs=jobs, cache=False)[0]
+    else:
+        metrics = _simulate(SMOKE_CONFIG)
     wall = time.perf_counter() - start
     return {
         "config": {
@@ -62,8 +62,11 @@ def run_smoke() -> dict:
         "p95_latency_s": round(metrics.p95_latency_s, 4),
         "committed_txns": metrics.committed_txns,
         "rounds": metrics.rounds,
-        # Informational only: varies with the machine.
+        "sim_events": metrics.sim_events,
+        # Machine-dependent: wall is informational, events/sec is gated with
+        # a loose tolerance (it only has to catch order-of-magnitude rot).
         "wall_s": round(wall, 3),
+        "events_per_sec": round(metrics.sim_events / wall, 1) if wall > 0 else 0.0,
     }
 
 
@@ -72,9 +75,15 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_smoke.json", help="result JSON path")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="run through the parallel engine with this many workers (0 = direct)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
-        help="fail if throughput regresses beyond --tolerance vs the baseline",
+        help="fail if throughput or events/sec regress beyond tolerance vs baseline",
     )
     parser.add_argument(
         "--tolerance",
@@ -83,20 +92,28 @@ def main(argv=None) -> int:
         help="allowed fractional throughput drop (default 0.20 = 20%%)",
     )
     parser.add_argument(
+        "--eps-tolerance",
+        type=float,
+        default=0.60,
+        help="allowed fractional events/sec drop (default 0.60 — runner noise)",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write the measured result to the baseline path",
     )
     args = parser.parse_args(argv)
 
-    result = run_smoke()
+    result = run_smoke(jobs=args.jobs)
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")
     print(
         f"smoke: {result['throughput_tps'] / 1000.0:.2f} kTPS, "
         f"avg latency {result['avg_latency_s']:.3f} s, "
-        f"{result['committed_txns']} txns in {result['wall_s']:.2f} s wall"
+        f"{result['committed_txns']} txns, "
+        f"{result['sim_events']} events in {result['wall_s']:.2f} s wall "
+        f"({result['events_per_sec']:,.0f} events/sec)"
     )
     print(f"wrote {args.out}")
 
@@ -116,20 +133,38 @@ def main(argv=None) -> int:
             return 1
         with open(args.baseline) as fh:
             baseline = json.load(fh)
+        failures = []
         floor = baseline["throughput_tps"] * (1.0 - args.tolerance)
         measured = result["throughput_tps"]
         if measured < floor:
-            print(
-                f"FAIL: throughput {measured:.0f} TPS < floor {floor:.0f} TPS "
+            failures.append(
+                f"throughput {measured:.0f} TPS < floor {floor:.0f} TPS "
                 f"(baseline {baseline['throughput_tps']:.0f} TPS "
-                f"- {args.tolerance:.0%} tolerance)",
-                file=sys.stderr,
+                f"- {args.tolerance:.0%} tolerance)"
             )
+        else:
+            print(
+                f"OK: throughput {measured:.0f} TPS >= floor {floor:.0f} TPS "
+                f"(baseline {baseline['throughput_tps']:.0f} TPS)"
+            )
+        eps_base = baseline.get("events_per_sec")
+        if eps_base:
+            eps_floor = eps_base * (1.0 - args.eps_tolerance)
+            eps = result["events_per_sec"]
+            if eps < eps_floor:
+                failures.append(
+                    f"core speed {eps:,.0f} events/sec < floor {eps_floor:,.0f} "
+                    f"(baseline {eps_base:,.0f} - {args.eps_tolerance:.0%} tolerance)"
+                )
+            else:
+                print(
+                    f"OK: core speed {eps:,.0f} events/sec >= floor "
+                    f"{eps_floor:,.0f} (baseline {eps_base:,.0f})"
+                )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print(
-            f"OK: throughput {measured:.0f} TPS >= floor {floor:.0f} TPS "
-            f"(baseline {baseline['throughput_tps']:.0f} TPS)"
-        )
     return 0
 
 

@@ -14,6 +14,7 @@ experiment here (see DESIGN.md §4 for the index):
 
 from .metrics import RunMetrics, measure_run
 from .model import AnalyticalModel, ModelPoint
+from .parallel import ResultCache, run_grid, run_tasks
 from .runner import ExperimentConfig, run_experiment
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "measure_run",
     "ExperimentConfig",
     "run_experiment",
+    "ResultCache",
+    "run_grid",
+    "run_tasks",
     "AnalyticalModel",
     "ModelPoint",
 ]

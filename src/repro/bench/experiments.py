@@ -25,7 +25,8 @@ from ..committees.multiclan import equal_partition_prob
 from ..net.latency import GCP_REGIONS, GCP_RTT_MS
 from ..types import max_faults
 from .model import AnalyticalModel, PAPER_LOADS, ModelPoint
-from .runner import ExperimentConfig, run_experiment, scaled
+from .parallel import run_grid
+from .runner import ExperimentConfig, scaled
 
 #: Paper figure geometries: figure -> (n, single clan size, multi-clan count).
 FIGURE_SCALES = {
@@ -138,11 +139,6 @@ def _protocols_for(figure: str) -> list[str]:
     return ["sailfish", "single-clan"]
 
 
-#: Session-level cache: identical configurations are simulated once even
-#: when several benches (fig5c, fig6) share geometry.
-_RESULT_CACHE: dict[ExperimentConfig, dict] = {}
-
-
 def _estimate_round(
     n: int, protocol: str, clan_size: int, clans: int | None, load: int,
     bandwidth_bps: float,
@@ -153,6 +149,34 @@ def _estimate_round(
         protocol, load, clan_size=clan_size, clans=clans or 2
     )
     return point.round_duration_s
+
+
+def point_config(
+    protocol: str,
+    geom: FigureGeometry,
+    load: int,
+    bandwidth_bps: float,
+    cpu_per_message: float,
+    warmup_rounds: int = 3,
+    measure_rounds: int = 6,
+) -> ExperimentConfig:
+    """The adaptively sized config of one (protocol, load) grid point."""
+    round_est = _estimate_round(
+        geom.n, protocol, geom.clan_size, geom.clans, load, bandwidth_bps
+    )
+    warmup = warmup_rounds * round_est + 0.5
+    duration = min(120.0, warmup + measure_rounds * round_est + 0.5)
+    return ExperimentConfig(
+        protocol=protocol,
+        n=geom.n,
+        txns_per_proposal=load,
+        clan_size=geom.clan_size,
+        clans=geom.clans or 2,
+        bandwidth_bps=bandwidth_bps,
+        duration=duration,
+        warmup=warmup,
+        cpu_per_message=cpu_per_message,
+    )
 
 
 def run_point(
@@ -166,35 +190,18 @@ def run_point(
     measure_rounds: int = 6,
 ) -> dict:
     """Simulate one (protocol, load) point with an adaptively sized run."""
-    round_est = _estimate_round(
-        geom.n, protocol, geom.clan_size, geom.clans, load, bandwidth_bps
+    config = point_config(
+        protocol, geom, load, bandwidth_bps, cpu_per_message,
+        warmup_rounds, measure_rounds,
     )
-    warmup = warmup_rounds * round_est + 0.5
-    duration = min(120.0, warmup + measure_rounds * round_est + 0.5)
-    config = ExperimentConfig(
-        protocol=protocol,
-        n=geom.n,
-        txns_per_proposal=load,
-        clan_size=geom.clan_size,
-        clans=geom.clans or 2,
-        bandwidth_bps=bandwidth_bps,
-        duration=duration,
-        warmup=warmup,
-        cpu_per_message=cpu_per_message,
-    )
-    cached = _RESULT_CACHE.get(config)
-    if cached is not None:
-        return dict(cached)
-    metrics = run_experiment(config)
-    row = {
+    metrics = run_grid([config])[0]
+    return {
         "figure": figure,
         "protocol": protocol,
         "n": geom.n,
         "txns/proposal": load,
         **metrics.row(),
     }
-    _RESULT_CACHE[config] = dict(row)
-    return row
 
 
 def fig5_curve(
@@ -202,21 +209,41 @@ def fig5_curve(
     loads: list[int] | None = None,
     bandwidth_bps: float = 400e6,
     cpu_per_message: float = 4e-6,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """Simulated throughput-vs-latency curve for one Fig. 5 panel.
 
     The default bandwidth positions the saturation knee inside the load
     sweep at the scaled n, mirroring where the paper's knees fall.
+
+    The (protocol × load) grid runs through the parallel engine
+    (:func:`repro.bench.parallel.run_grid`): ``jobs``/``cache`` default to
+    the ``REPRO_JOBS``/``REPRO_CACHE`` environment knobs, and rows come back
+    in grid order, so the output is identical at any worker count.
     """
     geom = figure_geometry(figure)
     loads = loads if loads is not None else SIM_LOADS[figure]
-    rows = []
-    for protocol in _protocols_for(figure):
-        for load in loads:
-            rows.append(
-                run_point(figure, protocol, geom, load, bandwidth_bps, cpu_per_message)
-            )
-    return rows
+    points = [
+        (protocol, load)
+        for protocol in _protocols_for(figure)
+        for load in loads
+    ]
+    configs = [
+        point_config(protocol, geom, load, bandwidth_bps, cpu_per_message)
+        for protocol, load in points
+    ]
+    metrics_list = run_grid(configs, jobs=jobs, cache=cache)
+    return [
+        {
+            "figure": figure,
+            "protocol": protocol,
+            "n": geom.n,
+            "txns/proposal": load,
+            **metrics.row(),
+        }
+        for (protocol, load), metrics in zip(points, metrics_list)
+    ]
 
 
 def fig5_model_curve(figure: str, loads: list[int] | None = None) -> list[dict]:
@@ -235,10 +262,14 @@ def fig5_model_curve(figure: str, loads: list[int] | None = None) -> list[dict]:
 def fig6_load_sweep(
     loads: list[int] | None = None,
     bandwidth_bps: float = 400e6,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[dict]:
     """Fig. 6: throughput vs txns/proposal at the fig5c geometry."""
     return fig5_curve(
         "fig5c",
         loads=loads if loads is not None else SIM_LOADS["fig6"],
         bandwidth_bps=bandwidth_bps,
+        jobs=jobs,
+        cache=cache,
     )

@@ -36,6 +36,9 @@ class RunMetrics:
     window_s: float
     total_bytes: int
     total_messages: int
+    #: Simulator events executed during the run — the deterministic
+    #: denominator of the events/sec core-speed metric (scripts/bench_smoke).
+    sim_events: int = 0
     #: Per-message-kind traffic; empty unless the run tracked kinds
     #: (``Network(track_kinds=True)`` / ``ExperimentConfig.track_kinds``).
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
@@ -123,6 +126,7 @@ def measure_run(
         window_s=window,
         total_bytes=deployment.network.stats.total_bytes,
         total_messages=deployment.network.stats.total_messages,
+        sim_events=deployment.sim.processed_events,
         bytes_by_kind=bytes_by_kind,
         messages_by_kind=messages_by_kind,
     )

@@ -1,0 +1,259 @@
+"""Parallel experiment engine: process fan-out + content-addressed cache.
+
+The benchmark suite sweeps (protocol × n × load × seed) grids of *independent*
+discrete-event simulations — embarrassingly parallel work that the serial
+runner pushed through one core.  This module shards any grid across worker
+processes and merges results **by grid index, never by completion time**, so
+a parallel sweep's CSV output is byte-identical to a serial one (each
+simulation owns its seeded RNG streams and shares no mutable state).
+
+On top of the fan-out sits a content-addressed result cache
+(``results/.cache/``): each grid point is keyed by a digest of its full
+:class:`~repro.bench.runner.ExperimentConfig`, the run limits, and a digest
+of the ``repro`` package sources.  Re-running a benchmark therefore only
+simulates points whose inputs — config *or* code — changed; everything else
+is served from disk with zero simulator events.
+
+Environment knobs (CLI flags take precedence where offered):
+
+* ``REPRO_JOBS`` — default worker count for :func:`run_grid` / :func:`run_tasks`.
+* ``REPRO_CACHE`` — ``0`` disables the disk cache (default: enabled).
+* ``REPRO_CACHE_SALT`` — extra key material, for forced invalidation.
+* ``REPRO_RESULTS_DIR`` — relocates ``results/`` (and with it the cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, fields
+from typing import Any, Callable, Iterable, Sequence
+
+from .metrics import RunMetrics
+from .reporting import results_path
+from .runner import ExperimentConfig, _simulate
+
+#: Bump to invalidate every cached result on disk (schema changes).
+CACHE_VERSION = 1
+
+#: In-process result memo (config, max_events) → RunMetrics: identical grid
+#: points simulated once per session even with the disk cache disabled
+#: (fig5c and fig6 share geometry, for example).
+_MEMORY: dict[tuple[ExperimentConfig, int | None], RunMetrics] = {}
+
+_SOURCE_DIGEST: str | None = None
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def source_digest() -> str:
+    """Digest over every ``repro`` source file (content-addressed cache key).
+
+    Any edit anywhere in the package invalidates cached results — deliberately
+    conservative: a stale cache that masks a code change would silently turn
+    the benchmark suite into a no-op.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is not None:
+        return _SOURCE_DIGEST
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    h = hashlib.sha256()
+    for dirpath, _dirnames, filenames in sorted(os.walk(package_root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            h.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    _SOURCE_DIGEST = h.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    return asdict(metrics)
+
+
+def metrics_from_dict(data: dict) -> RunMetrics:
+    known = {f.name for f in fields(RunMetrics)}
+    return RunMetrics(**{k: v for k, v in data.items() if k in known})
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of :class:`RunMetrics`.
+
+    One JSON file per grid point under ``root`` (default
+    ``results/.cache/``), named by the point's key.  Keys cover the config,
+    run limits, package source digest, a schema version, and an optional
+    salt — so a hit is only possible when re-simulating would reproduce the
+    stored result bit for bit.
+    """
+
+    def __init__(self, root: str | None = None, salt: str | None = None) -> None:
+        self.root = root if root is not None else results_path(".cache")
+        self.salt = salt if salt is not None else os.environ.get("REPRO_CACHE_SALT", "")
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, config: ExperimentConfig, max_events: int | None = None) -> str:
+        payload = json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "config": asdict(config),
+                "max_events": max_events,
+                "source": source_digest(),
+                "salt": self.salt,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def load(self, key: str) -> RunMetrics | None:
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics_from_dict(data["metrics"])
+
+    def store(self, key: str, config: ExperimentConfig, metrics: RunMetrics) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        body = {"config": asdict(config), "metrics": metrics_to_dict(metrics)}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(body, fh)
+            fh.write("\n")
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+
+
+def _resolve_cache(cache, cache_dir: str | None, salt: str | None) -> ResultCache | None:
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE", "1") != "0"
+    if not cache:
+        return None
+    return ResultCache(root=cache_dir, salt=salt)
+
+
+def _grid_worker(item: tuple[int, ExperimentConfig, int | None]) -> tuple[int, RunMetrics]:
+    index, config, max_events = item
+    # The uncached path on purpose: run_experiment itself may consult the
+    # cache (REPRO_CACHE=1), and workers must simulate, not recurse into it.
+    return index, _simulate(config, max_events=max_events)
+
+
+def _fan_out(worker: Callable, items: Sequence, jobs: int) -> Iterable:
+    """Run ``worker`` over ``items``; yields results in completion order.
+
+    Callers must merge by the index each item carries — completion order is
+    nondeterministic by nature and must never leak into outputs.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        for item in items:
+            yield worker(item)
+        return
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        yield from pool.imap_unordered(worker, items)
+
+
+def run_grid(
+    configs: Sequence[ExperimentConfig],
+    jobs: int | None = None,
+    cache: "ResultCache | bool | None" = None,
+    cache_dir: str | None = None,
+    salt: str | None = None,
+    max_events: int | None = None,
+) -> list[RunMetrics]:
+    """Run every config of a grid; returns metrics **ordered by grid index**.
+
+    Args:
+        jobs: worker processes (default ``REPRO_JOBS``, i.e. 1).  With
+            ``jobs=1`` everything runs inline in this process.
+        cache: a :class:`ResultCache`, True/False, or None to follow
+            ``REPRO_CACHE`` (default: enabled).
+        cache_dir / salt: forwarded to the constructed :class:`ResultCache`.
+        max_events: per-run event safety valve, part of the cache key.
+
+    Cached and duplicate points are never re-simulated; the remaining points
+    fan out across processes and results merge back by index, so the returned
+    list — and any CSV derived from it — is byte-identical to a serial run.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    store = _resolve_cache(cache, cache_dir, salt)
+    results: list[RunMetrics | None] = [None] * len(configs)
+    #: key → indices awaiting that point (dedupes identical configs).
+    pending: dict[tuple, list[int]] = {}
+    keys: dict[tuple, str] = {}
+    for index, config in enumerate(configs):
+        memo_key = (config, max_events)
+        hit = _MEMORY.get(memo_key)
+        if hit is None and store is not None:
+            disk_key = keys.setdefault(memo_key, store.key_for(config, max_events))
+            hit = store.load(disk_key)
+            if hit is not None:
+                _MEMORY[memo_key] = hit
+        if hit is not None:
+            results[index] = hit
+            continue
+        pending.setdefault(memo_key, []).append(index)
+    if pending:
+        items = [
+            (indices[0], configs[indices[0]], max_events)
+            for indices in pending.values()
+        ]
+        by_first_index = {indices[0]: indices for indices in pending.values()}
+        for index, metrics in _fan_out(_grid_worker, items, jobs):
+            indices = by_first_index[index]
+            config = configs[index]
+            memo_key = (config, max_events)
+            _MEMORY[memo_key] = metrics
+            if store is not None:
+                store.store(keys.get(memo_key) or store.key_for(config, max_events),
+                            config, metrics)
+            for slot in indices:
+                results[slot] = metrics
+    return results  # type: ignore[return-value]
+
+
+def _task_worker(item: tuple[int, Callable, tuple]) -> tuple[int, Any]:
+    index, fn, args = item
+    return index, fn(*args)
+
+
+def run_tasks(
+    tasks: Sequence[tuple[Callable, tuple]],
+    jobs: int | None = None,
+) -> list[Any]:
+    """Generic fan-out for benches that are not ``ExperimentConfig`` grids.
+
+    ``tasks`` is a sequence of ``(fn, args)`` pairs; ``fn`` must be a
+    module-level (picklable) callable returning a picklable value.  Results
+    come back ordered by task index regardless of completion order.  No
+    caching — callers with cacheable work should express it as a config grid.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    items = [(index, fn, tuple(args)) for index, (fn, args) in enumerate(tasks)]
+    results: list[Any] = [None] * len(items)
+    for index, value in _fan_out(_task_worker, items, jobs):
+        results[index] = value
+    return results
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process memo (tests; disk cache is unaffected)."""
+    _MEMORY.clear()

@@ -1,0 +1,197 @@
+"""Profile-guided optimization tooling: cProfile wrapper + hot-function report.
+
+``python -m repro profile <target>`` runs one deterministic experiment under
+:mod:`cProfile` and prints
+
+* the top-N hot functions (sorted by ``tottime`` — where the interpreter
+  actually spends its cycles), and
+* the run's core-speed number (simulator events per wall second), the same
+  metric ``scripts/bench_smoke.py`` gates in CI.
+
+With ``--trace`` the run also carries a :class:`~repro.obs.Tracer`, so the
+report correlates the wall-clock hot spots with the *simulated-time* per-hop
+decomposition (NIC wait → tx → propagation → CPU wait → CPU) of
+:mod:`repro.bench.trace_report`: the first table says where the *simulator*
+burns host CPU, the second where the *modelled network* spends simulated
+seconds.  Optimizations driven from here must leave the second table (and all
+simulated metrics) bit-identical — only the first is allowed to change.
+
+The hot-path inventory and before/after numbers live in docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .metrics import RunMetrics
+from .reporting import format_table
+from .runner import ExperimentConfig, _simulate
+
+#: The canonical perf-smoke configuration (also the default profile target):
+#: small enough for <60 s wall anywhere, big enough to exercise RBC, commit,
+#: and the NIC queueing model.  ``scripts/bench_smoke.py`` runs exactly this.
+SMOKE_CONFIG = ExperimentConfig(
+    protocol="single-clan",
+    n=12,
+    clan_size=6,
+    txns_per_proposal=250,
+    bandwidth_bps=400e6,
+    duration=6.0,
+    warmup=2.0,
+)
+
+#: Named profile targets: name → (description, config).
+PROFILE_TARGETS: dict[str, tuple[str, ExperimentConfig]] = {
+    "smoke": ("the CI perf-smoke run (single-clan n=12/6, load 250)", SMOKE_CONFIG),
+    "sailfish": (
+        "baseline Sailfish at the smoke geometry (all-to-all traffic)",
+        ExperimentConfig(
+            protocol="sailfish",
+            n=12,
+            txns_per_proposal=250,
+            bandwidth_bps=400e6,
+            duration=6.0,
+            warmup=2.0,
+        ),
+    ),
+    "fig5a": (
+        "one scaled fig5a point (single-clan, load 1000)",
+        ExperimentConfig(
+            protocol="single-clan",
+            n=15,
+            clan_size=10,
+            txns_per_proposal=1000,
+            bandwidth_bps=400e6,
+            duration=8.0,
+            warmup=2.0,
+        ),
+    ),
+}
+
+
+@dataclass
+class ProfileReport:
+    """One profiled run: wall-clock, core speed, and the hot-function table."""
+
+    target: str
+    wall_s: float
+    sim_events: int
+    metrics: RunMetrics
+    hot: list[dict[str, Any]] = field(default_factory=list)
+    #: Per-hop simulated-time decomposition (only when traced).
+    hop_stages: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.sim_events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def profile_call(fn: Callable, *args: Any, **kwargs: Any):
+    """Run ``fn`` under cProfile; returns ``(value, profiler, wall_s)``."""
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        value = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return value, profiler, time.perf_counter() - start
+
+
+def _where(filename: str, lineno: int, name: str) -> str:
+    if filename.startswith("~") or filename.startswith("<"):
+        return f"{{{name}}}"  # builtins / C calls
+    parts = filename.replace(os.sep, "/").rsplit("/", 2)
+    short = "/".join(parts[-2:])
+    return f"{short}:{lineno}({name})"
+
+
+def hot_functions(profiler: cProfile.Profile, top: int = 20) -> list[dict[str, Any]]:
+    """The ``top`` functions by own-time, as table rows."""
+    stats = pstats.Stats(profiler)
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][2], reverse=True  # tottime
+    )
+    rows = []
+    for (filename, lineno, name), (_cc, ncalls, tottime, cumtime, _callers) in entries[
+        :top
+    ]:
+        rows.append(
+            {
+                "function": _where(filename, lineno, name),
+                "calls": ncalls,
+                "tottime_s": round(tottime, 3),
+                "cumtime_s": round(cumtime, 3),
+                "us/call": round(1e6 * tottime / ncalls, 2) if ncalls else 0.0,
+            }
+        )
+    return rows
+
+
+def profile_experiment(
+    config: ExperimentConfig,
+    target: str = "custom",
+    max_events: int | None = None,
+    top: int = 20,
+    trace: bool = False,
+) -> tuple[ProfileReport, cProfile.Profile]:
+    """Profile one (uncached, in-process) experiment run.
+
+    Always simulates — the result cache is bypassed on purpose; a cache hit
+    would profile JSON parsing, not the simulator.
+    """
+    tracer = None
+    if trace:
+        from ..obs import Tracer
+
+        tracer = Tracer()
+    metrics, profiler, wall = profile_call(
+        _simulate, config, max_events=max_events, tracer=tracer
+    )
+    report = ProfileReport(
+        target=target,
+        wall_s=wall,
+        sim_events=metrics.sim_events,
+        metrics=metrics,
+        hot=hot_functions(profiler, top=top),
+    )
+    if tracer is not None:
+        from .trace_report import hop_stage_table
+
+        report.hop_stages = hop_stage_table(tracer)
+    return report, profiler
+
+
+def format_profile_report(report: ProfileReport) -> str:
+    """Render a :class:`ProfileReport` as aligned text tables."""
+    sections = [
+        format_table(
+            [
+                {
+                    "target": report.target,
+                    "wall_s": round(report.wall_s, 3),
+                    "sim_events": report.sim_events,
+                    "events/sec": f"{report.events_per_sec:,.0f}",
+                    "throughput_ktps": round(report.metrics.throughput_tps / 1e3, 2),
+                    "rounds": report.metrics.rounds,
+                }
+            ],
+            "Profiled run (events/sec = host core speed; simulated metrics must "
+            "not move under optimization)",
+        ),
+        format_table(report.hot, f"Hot functions (top {len(report.hot)} by own time)"),
+    ]
+    if report.hop_stages:
+        sections.append(
+            format_table(
+                report.hop_stages,
+                "Per-hop decomposition, simulated time (tracer correlation — "
+                "optimizations must leave this table unchanged)",
+            )
+        )
+    return "\n\n".join(sections)

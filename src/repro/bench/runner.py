@@ -10,6 +10,7 @@ from ..consensus.deployment import Deployment
 from ..consensus.params import ProtocolParams
 from ..errors import ConfigError
 from ..net.cpu import CpuModel
+from ..net.faults import LossyLink
 from ..net.latency import gcp_latency_model
 from ..smr.mempool import SyntheticWorkload
 from .metrics import RunMetrics, measure_run
@@ -33,6 +34,11 @@ class ExperimentConfig:
             crypto/storage latency growth with n reported in §7.
         track_kinds: collect per-message-kind traffic stats (surfaced on
             :class:`~repro.bench.metrics.RunMetrics`).
+        drop_rate / duplicate_rate: seeded wire-level loss/duplication
+            (:class:`~repro.net.faults.LossyLink`); chaos-flavoured grid
+            points stay plain configs, so they shard and cache like any other.
+        reliable: run over the retransmitting reliable transport (required
+            for liveness whenever ``drop_rate`` > 0).
     """
 
     protocol: str
@@ -48,6 +54,9 @@ class ExperimentConfig:
     seed: int = 7
     jitter: float = 0.05
     track_kinds: bool = False
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reliable: bool = False
 
     def clan_config(self) -> ClanConfig:
         if self.protocol == "sailfish":
@@ -75,13 +84,36 @@ def run_experiment(
     Args:
         tracer: optional :class:`repro.obs.Tracer`; threads through the whole
             stack, so any benchmark gains per-stage breakdowns by passing one.
+
+    When ``REPRO_CACHE=1`` is set (and no tracer is attached), results are
+    served from / stored into the content-addressed cache of
+    :mod:`repro.bench.parallel`; grid sweeps get caching by default through
+    :func:`repro.bench.parallel.run_grid` instead.
     """
+    if tracer is None and os.environ.get("REPRO_CACHE") == "1":
+        from .parallel import run_grid
+
+        return run_grid([config], jobs=1, cache=True, max_events=max_events)[0]
+    return _simulate(config, max_events=max_events, tracer=tracer)
+
+
+def _simulate(
+    config: ExperimentConfig,
+    max_events: int | None = None,
+    tracer=None,
+) -> RunMetrics:
+    """The uncached simulation path behind :func:`run_experiment`."""
     workload = SyntheticWorkload(txns_per_proposal=config.txns_per_proposal)
     params = ProtocolParams(
         verify_signatures=False,
         leader_timeout=config.leader_timeout,
     )
     cpu = CpuModel(per_message=config.cpu_per_message) if config.cpu_per_message else None
+    faults = None
+    if config.drop_rate or config.duplicate_rate:
+        faults = LossyLink(
+            config.drop_rate, duplicate_prob=config.duplicate_rate, seed=config.seed
+        )
     deployment = Deployment(
         config.clan_config(),
         params,
@@ -92,6 +124,8 @@ def run_experiment(
         seed=config.seed,
         tracer=tracer,
         track_kinds=config.track_kinds,
+        faults=faults,
+        reliable=config.reliable,
     )
     deployment.start()
     deployment.run(until=config.duration, max_events=max_events)

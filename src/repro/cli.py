@@ -7,6 +7,11 @@ Commands:
 * ``sweep`` — a load sweep (one Fig. 5-style curve) for one protocol.
 * ``model`` — paper-scale analytical curves.
 * ``figures`` — regenerate a figure's data series (same code as the benches).
+* ``bench`` — run a full figure sweep through the parallel experiment engine
+  (``--jobs N`` workers + the content-addressed result cache) and write the
+  same ``results/*.csv`` files the pytest benches produce.
+* ``profile`` — run one experiment under cProfile and print the hot-function
+  report next to the tracer's per-hop decomposition (``docs/PERFORMANCE.md``).
 * ``trace`` — run an instrumented experiment, export a JSONL trace, and print
   the per-stage latency report (see ``docs/OBSERVABILITY.md``).
 """
@@ -20,12 +25,13 @@ from .bench.experiments import (
     fig1_clan_sizes,
     fig5_curve,
     fig5_model_curve,
+    fig6_load_sweep,
     sec62_numbers,
     sec7_clan_sizes,
     table1_latency_matrix,
 )
 from .bench.model import AnalyticalModel, PAPER_LOADS
-from .bench.reporting import format_table
+from .bench.reporting import format_table, results_path, write_csv
 from .bench.runner import ExperimentConfig, run_experiment
 from .bench.trace_report import format_trace_report
 from .obs import Tracer
@@ -142,6 +148,62 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         return 2
     rows = producer()
     print(format_table(rows, f"Reproduction data: {args.figure}"))
+    return 0
+
+
+#: Figure sweeps runnable through the parallel engine: name → rows producer.
+BENCH_SWEEPS = {
+    "fig5a": lambda jobs, cache: fig5_curve("fig5a", jobs=jobs, cache=cache),
+    "fig5b": lambda jobs, cache: fig5_curve("fig5b", jobs=jobs, cache=cache),
+    "fig5c": lambda jobs, cache: fig5_curve("fig5c", jobs=jobs, cache=cache),
+    "fig6": lambda jobs, cache: fig6_load_sweep(jobs=jobs, cache=cache),
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .bench.parallel import default_jobs
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = False if args.no_cache else None
+    names = sorted(BENCH_SWEEPS) if args.sweep == "all" else [args.sweep]
+    for name in names:
+        start = time.perf_counter()
+        rows = BENCH_SWEEPS[name](jobs, cache)
+        wall = time.perf_counter() - start
+        path = write_csv(rows, results_path(f"{name}_sim.csv"))
+        print(format_table(rows, f"{name} sweep ({len(rows)} points, jobs={jobs}, "
+                                 f"{wall:.1f} s wall)"))
+        print(f"wrote {path}")
+        print()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .bench.profiling import (
+        PROFILE_TARGETS,
+        format_profile_report,
+        profile_experiment,
+    )
+
+    _desc, config = PROFILE_TARGETS[args.target]
+    report, profiler = profile_experiment(
+        config,
+        target=args.target,
+        max_events=args.max_events,
+        top=args.top,
+        trace=args.trace,
+    )
+    text = format_profile_report(report)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.out}")
+    if args.pstats:
+        profiler.dump_stats(args.pstats)
+        print(f"raw profile written to {args.pstats} (pstats format)")
     return 0
 
 
@@ -295,6 +357,44 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", help="regenerate a paper artifact's data")
     figures.add_argument("figure", choices=sorted(_FIGURES))
     figures.set_defaults(fn=_cmd_figures)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a figure sweep through the parallel engine and write its CSV",
+    )
+    bench.add_argument("sweep", choices=[*sorted(BENCH_SWEEPS), "all"])
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS, i.e. serial)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-addressed result cache (results/.cache/)",
+    )
+    bench.set_defaults(fn=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under cProfile and print the hot-function report",
+    )
+    from .bench.profiling import PROFILE_TARGETS
+
+    profile.add_argument(
+        "target", nargs="?", default="smoke", choices=sorted(PROFILE_TARGETS)
+    )
+    profile.add_argument("--top", type=int, default=20, help="hot functions to show")
+    profile.add_argument(
+        "--trace", action="store_true",
+        help="attach the tracer and print the per-hop decomposition alongside",
+    )
+    profile.add_argument(
+        "--max-events", type=int, default=None, help="cap simulator events"
+    )
+    profile.add_argument("--out", default=None, help="also write the report here")
+    profile.add_argument(
+        "--pstats", default=None, help="dump the raw profile (pstats) here"
+    )
+    profile.set_defaults(fn=_cmd_profile)
 
     trace = sub.add_parser(
         "trace", help="run an instrumented experiment and print a latency report"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import CryptoError
 from ..types import NodeId
@@ -55,7 +56,7 @@ class Pki:
     False
     """
 
-    def __init__(self, n: int, seed: int = 0) -> None:
+    def __init__(self, n: int, seed: int = 0, tag_cache_size: int = 16384) -> None:
         if n < 1:
             raise CryptoError(f"PKI needs at least one party, got {n}")
         self.n = n
@@ -63,6 +64,15 @@ class Pki:
             KeyPair(i, hashlib.sha256(f"repro-key:{seed}:{i}".encode()).digest())
             for i in range(n)
         ]
+        # Every quorum checker re-verifies the same (signer, digest) pairs —
+        # one ECHO digest is checked by n receivers and again inside each
+        # aggregate — so valid tags are memoized.  The LRU bound keeps memory
+        # flat over long runs; the cache is per-Pki, so distinct deployments
+        # (different seeds) never share entries.
+        self._tag_cache = lru_cache(maxsize=tag_cache_size)(self._compute_tag)
+
+    def _compute_tag(self, signer: NodeId, message_digest: bytes) -> bytes:
+        return _tag(self._keys[signer].secret, message_digest)
 
     def key(self, node_id: NodeId) -> KeyPair:
         """The signing key of ``node_id`` (handed only to that node's logic)."""
@@ -74,11 +84,10 @@ class Pki:
         """Check that ``sig`` was produced with the signer's secret key."""
         if not 0 <= sig.signer < self.n:
             return False
-        expected = _tag(self._keys[sig.signer].secret, sig.message_digest)
-        return expected == sig.tag
+        return self._tag_cache(sig.signer, sig.message_digest) == sig.tag
 
     def expected_tag(self, signer: NodeId, message_digest: bytes) -> bytes:
         """Recompute the valid tag for (signer, digest) — used by BLS checks."""
         if not 0 <= signer < self.n:
             raise CryptoError(f"unknown party {signer}")
-        return _tag(self._keys[signer].secret, message_digest)
+        return self._tag_cache(signer, message_digest)

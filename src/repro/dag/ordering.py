@@ -41,11 +41,10 @@ class OrderingEngine:
             raise DagError(
                 f"leader round {leader.round} not after {self._last_leader_round}"
             )
-        history = [
-            v
-            for v in self.store.causal_history(leader)
-            if v.key not in self._ordered_keys
-        ]
+        # Pruning the walk at already-ordered vertices keeps each commit
+        # O(newly ordered) — the ordered set is closed under ancestry, so the
+        # pruned subtrees contain only vertices ordered by earlier leaders.
+        history = self.store.causal_history(leader, stop=self._ordered_keys)
         history.sort(key=lambda v: (v.round, v.source))
         for vertex in history:
             self._ordered_keys.add(vertex.key)

@@ -140,22 +140,33 @@ class DagStore:
                     queue.append(child)
         return False
 
-    def causal_history(self, vertex: Vertex) -> list[Vertex]:
+    def causal_history(self, vertex: Vertex, stop: set[Key] | None = None) -> list[Vertex]:
         """All attached ancestors of ``vertex`` (strong and weak edges),
-        excluding genesis vertices, including ``vertex`` itself."""
+        excluding genesis vertices, including ``vertex`` itself.
+
+        Args:
+            stop: keys whose subtrees are pruned from the walk.  The ordering
+                engine passes its already-ordered set: ordering is closed
+                under ancestry, so everything below an ordered vertex is
+                ordered too and re-walking it every leader commit would make
+                each commit cost O(whole DAG) instead of O(new vertices).
+        """
         result: list[Vertex] = []
         stack = [vertex]
         seen: set[Key] = {vertex.key}
+        vertices = self._vertices
         while stack:
             v = stack.pop()
             if v.round > GENESIS_ROUND:
                 result.append(v)
             for ref in v.parents():
-                key = ref.key
-                if key in seen or ref.round == GENESIS_ROUND:
+                if ref.round == GENESIS_ROUND:
+                    continue
+                key = (ref.round, ref.source)
+                if key in seen or (stop is not None and key in stop):
                     continue
                 seen.add(key)
-                parent = self._vertices.get(key)
+                parent = vertices.get(key)
                 if parent is None:
                     raise DagError(f"attached vertex {v.key} missing parent {key}")
                 stack.append(parent)

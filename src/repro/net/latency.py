@@ -55,6 +55,16 @@ class LatencyModel(ABC):
     def delay(self, src: NodeId, dst: NodeId) -> float:
         """One-way delay in seconds for a message from ``src`` to ``dst``."""
 
+    def constant_delays(self, n: int) -> list[list[float]] | None:
+        """Per-link delay table when this model is deterministic, else None.
+
+        Jitter-free models return an ``n × n`` matrix so the network can skip
+        the per-message :meth:`delay` call on its hot path.  Models with any
+        randomness must return None — precomputing would change which RNG
+        draws each message consumes and break run-for-run determinism.
+        """
+        return None
+
     def mean_delay(self, n: int) -> float:
         """Mean one-way delay over all ordered pairs (used by the analytical
         model); subclasses may override with a cheaper computation."""
@@ -82,6 +92,11 @@ class UniformLatencyModel(LatencyModel):
         if self._jitter == 0.0:
             return self._base
         return self._base + self._rng.random() * self._jitter
+
+    def constant_delays(self, n: int) -> list[list[float]] | None:
+        if self._jitter != 0.0:
+            return None
+        return [[self._base] * n for _ in range(n)]
 
     def mean_delay(self, n: int) -> float:
         return self._base + self._jitter / 2.0
@@ -130,6 +145,11 @@ class GeoLatencyModel(LatencyModel):
         if self._jitter == 0.0:
             return base
         return base * (1.0 + self._rng.random() * self._jitter)
+
+    def constant_delays(self, n: int) -> list[list[float]] | None:
+        if self._jitter != 0.0:
+            return None
+        return [row[:n] for row in self._base[:n]]
 
     def mean_delay(self, n: int | None = None) -> float:
         n = len(self._regions) if n is None else n

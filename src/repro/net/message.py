@@ -15,11 +15,28 @@ class Message:
     Subclasses should set ``__slots__`` and override :meth:`wire_size`.
     """
 
-    __slots__ = ()
+    __slots__ = ("_wire_size_memo",)
 
     def wire_size(self) -> int:
         """Size of this message on the wire, in bytes."""
         return sizes.HEADER_SIZE
+
+    def wire_size_cached(self) -> int:
+        """Per-instance memoized :meth:`wire_size`.
+
+        The network calls this once per transmission; a multicast through the
+        reliable transport (one :class:`~repro.net.transport.DataMsg` wrapper
+        per destination over a shared payload) and every retransmission reuse
+        the first computation.  Contract: a message's wire size is fixed once
+        it has been handed to the network — all protocol layers here treat
+        messages as immutable after send.
+        """
+        try:
+            return self._wire_size_memo
+        except AttributeError:
+            size = self.wire_size()
+            self._wire_size_memo = size
+            return size
 
     def kind(self) -> str:
         """Short human-readable tag, used in stats and logs."""

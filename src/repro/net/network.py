@@ -86,9 +86,14 @@ class Network:
         self.sim = sim
         self.n = n
         self.latency = latency if latency is not None else UniformLatencyModel(0.05)
+        # Jitter-free latency models expose a constant per-link delay table;
+        # precomputing it removes a method call per (message, destination).
+        self._latency_table = self.latency.constant_delays(n)
         # Convert bits/s to bytes/s once; None means infinite bandwidth.
         self._bytes_per_sec = bandwidth_bps / 8.0 if bandwidth_bps else None
         self.adversary = adversary if adversary is not None else DelayAdversary()
+        # The base DelayAdversary never adds delay: skip the call entirely.
+        self._null_adversary = type(self.adversary) is DelayAdversary
         self.cpu = cpu
         #: Link fault model (loss/duplication/partitions); None = perfect wire.
         self.faults = faults
@@ -183,28 +188,37 @@ class Network:
             self._transmit_traced(src, dsts, msg)
             return
         sim = self.sim
+        post = sim.post
+        deliver = self._deliver
         now = sim.now
-        size = msg.wire_size()
+        size = msg.wire_size_cached()
         stats = self.stats
-        if self._track_kinds:
+        bytes_sent = stats.bytes_sent
+        messages_sent = stats.messages_sent
+        track_kinds = self._track_kinds
+        if track_kinds:
             kind = msg.kind()
         per_byte = self._bytes_per_sec
         faults = self.faults
+        n = self.n
+        base_row = self._latency_table[src] if self._latency_table is not None else None
+        delay = self.latency.delay
+        extra_delay = None if self._null_adversary else self.adversary.extra_delay
         nic_free = self._nic_free_at[src]
         clock = now if now > nic_free else nic_free
         for dst in dsts:
-            if not 0 <= dst < self.n:
-                raise NetworkError(f"destination {dst} out of range (n={self.n})")
-            stats.bytes_sent[src] += size
-            stats.messages_sent[src] += 1
-            if self._track_kinds:
+            if not 0 <= dst < n:
+                raise NetworkError(f"destination {dst} out of range (n={n})")
+            bytes_sent[src] += size
+            messages_sent[src] += 1
+            if track_kinds:
                 stats.bytes_by_kind[kind] += size
                 stats.messages_by_kind[kind] += 1
             if dst == src:
                 # Loopback: no NIC or propagation cost (and no wire faults),
                 # but still event-driven so ordering semantics match remote
                 # deliveries.
-                sim.post(now, self._deliver, (src, dst, msg, size))
+                post(now, deliver, (src, dst, msg, size))
                 continue
             if per_byte is not None:
                 # The NIC serializes the copy whether or not the wire then
@@ -217,9 +231,10 @@ class Network:
             if copies > 1:
                 stats.messages_duplicated += copies - 1
             for _ in range(copies):
-                arrive = clock + self.latency.delay(src, dst)
-                arrive += self.adversary.extra_delay(src, dst, msg, now)
-                sim.post(arrive, self._deliver, (src, dst, msg, size))
+                arrive = clock + (base_row[dst] if base_row is not None else delay(src, dst))
+                if extra_delay is not None:
+                    arrive += extra_delay(src, dst, msg, now)
+                post(arrive, deliver, (src, dst, msg, size))
         self._nic_free_at[src] = clock
 
     def _transmit_traced(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
@@ -232,7 +247,7 @@ class Network:
         """
         sim = self.sim
         now = sim.now
-        size = msg.wire_size()
+        size = msg.wire_size_cached()
         stats = self.stats
         if self._track_kinds:
             kind = msg.kind()

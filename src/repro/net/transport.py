@@ -50,7 +50,9 @@ class DataMsg(Message):
     payload: Message
 
     def wire_size(self) -> int:
-        return self.payload.wire_size() + 8  # 8-byte sequence number
+        # The shared payload's size is memoized, so the per-destination
+        # DataMsg wrappers of one multicast compute it exactly once.
+        return self.payload.wire_size_cached() + 8  # 8-byte sequence number
 
     def kind(self) -> str:
         # Report the inner kind so per-kind traffic stats stay meaningful
@@ -72,7 +74,7 @@ class AckMsg(Message):
         return sizes.HEADER_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendState:
     """Sender side of one directed channel."""
 
@@ -81,7 +83,7 @@ class _SendState:
     unacked: dict[int, list] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RecvState:
     """Receiver side of one directed channel (duplicate suppression)."""
 

@@ -17,7 +17,7 @@ from ..obs.tracer import NULL_TRACER
 from ..types import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     txn: Transaction
     clan_idx: int

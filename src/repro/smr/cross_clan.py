@@ -33,7 +33,7 @@ COMMIT = "xc-commit"
 ABORT = "xc-abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Staged:
     """A prepared-but-undecided cross-clan write set on one shard."""
 

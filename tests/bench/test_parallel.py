@@ -1,0 +1,185 @@
+"""Parallel experiment engine: determinism, ordering, and the result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import parallel
+from repro.bench.parallel import (
+    ResultCache,
+    clear_memory_cache,
+    metrics_from_dict,
+    metrics_to_dict,
+    run_grid,
+    run_tasks,
+)
+from repro.bench.reporting import write_csv
+from repro.bench.runner import ExperimentConfig, run_experiment
+from repro.chaos import SCENARIOS, run_scenario
+
+#: A small mixed grid: a fault-free point, a different seed, and a
+#: chaos-flavoured point (wire loss over the reliable transport).
+GRID = [
+    ExperimentConfig(
+        protocol="sailfish", n=7, txns_per_proposal=50, duration=2.0,
+        warmup=0.5, seed=1,
+    ),
+    ExperimentConfig(
+        protocol="sailfish", n=7, txns_per_proposal=50, duration=2.0,
+        warmup=0.5, seed=2,
+    ),
+    ExperimentConfig(
+        protocol="single-clan", n=8, clan_size=4, txns_per_proposal=50,
+        duration=2.0, warmup=0.5, seed=3, drop_rate=0.05, reliable=True,
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def _rows(metrics_list):
+    return [m.row() for m in metrics_list]
+
+
+class TestParallelDeterminism:
+    def test_parallel_rows_byte_identical_to_serial(self, tmp_path):
+        """jobs=4 must produce the same CSV bytes as jobs=1 (grid-order merge)."""
+        serial = run_grid(GRID, jobs=1, cache=False)
+        clear_memory_cache()
+        parallel_run = run_grid(GRID, jobs=4, cache=False)
+        assert serial == parallel_run
+        serial_csv = write_csv(_rows(serial), str(tmp_path / "serial.csv"))
+        parallel_csv = write_csv(_rows(parallel_run), str(tmp_path / "parallel.csv"))
+        with open(serial_csv, "rb") as a, open(parallel_csv, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_chaos_point_simulates_real_faults(self):
+        """The lossy grid point actually dropped copies (not a no-op knob)."""
+        metrics = run_grid([GRID[2]], jobs=1, cache=False)[0]
+        assert metrics.committed_txns > 0
+        assert metrics.sim_events > 0
+
+    def test_duplicate_configs_simulate_once_and_share_results(self, monkeypatch):
+        calls = []
+        real = parallel._simulate
+
+        def counting(config, max_events=None, tracer=None):
+            calls.append(config)
+            return real(config, max_events=max_events, tracer=tracer)
+
+        monkeypatch.setattr(parallel, "_simulate", counting)
+        results = run_grid([GRID[0], GRID[1], GRID[0]], jobs=1, cache=False)
+        assert len(calls) == 2  # the duplicate never re-simulated
+        assert results[0] == results[2]
+
+    def test_run_tasks_merges_by_index(self):
+        tasks = [(_task_value, (i,)) for i in range(6)]
+        assert run_tasks(tasks, jobs=1) == list(range(6))
+        assert run_tasks(tasks, jobs=3) == list(range(6))
+
+    def test_chaos_scenarios_identical_serial_vs_parallel(self):
+        """Seeded fault-injection scenarios survive the fan-out unchanged."""
+        names = ["drop05", "crash_recover"]
+        tasks = [(_scenario_outcome, (name,)) for name in names]
+        serial = run_tasks(tasks, jobs=1)
+        fanned = run_tasks(tasks, jobs=2)
+        assert serial == fanned
+        assert all(ok for _name, ok, _stats in serial)
+
+
+def _task_value(i: int) -> int:
+    return i
+
+
+def _scenario_outcome(name: str):
+    result = run_scenario(SCENARIOS[name])
+    stats = {
+        key: value
+        for key, value in sorted(result.stats.items())
+        if isinstance(value, (int, float, str))
+    }
+    return name, result.ok, stats
+
+
+class TestResultCache:
+    def test_unchanged_config_served_with_zero_simulation(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        first = run_grid([GRID[0]], jobs=1, cache=True, cache_dir=cache_dir)
+        clear_memory_cache()
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - must never run
+            raise AssertionError("cache hit expected; simulator was invoked")
+
+        monkeypatch.setattr(parallel, "_simulate", boom)
+        second = run_grid([GRID[0]], jobs=1, cache=True, cache_dir=cache_dir)
+        assert second == first
+
+    def test_config_mutation_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_grid([GRID[0]], jobs=1, cache=True, cache_dir=cache_dir)
+        clear_memory_cache()
+        mutated = ExperimentConfig(
+            protocol=GRID[0].protocol, n=GRID[0].n,
+            txns_per_proposal=GRID[0].txns_per_proposal,
+            duration=GRID[0].duration, warmup=GRID[0].warmup,
+            seed=GRID[0].seed + 100,
+        )
+        cache = ResultCache(root=cache_dir)
+        assert cache.load(cache.key_for(GRID[0])) is not None
+        assert cache.load(cache.key_for(mutated)) is None
+
+    def test_source_digest_bump_invalidates(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        run_grid([GRID[0]], jobs=1, cache=True, cache_dir=cache_dir)
+        clear_memory_cache()
+        cache = ResultCache(root=cache_dir)
+        assert cache.load(cache.key_for(GRID[0])) is not None
+        monkeypatch.setattr(parallel, "_SOURCE_DIGEST", "0" * 64)
+        stale = ResultCache(root=cache_dir)
+        assert stale.load(stale.key_for(GRID[0])) is None
+
+    def test_salt_invalidates(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_grid([GRID[0]], jobs=1, cache=True, cache_dir=cache_dir)
+        clear_memory_cache()
+        salted = ResultCache(root=cache_dir, salt="force-rerun")
+        assert salted.load(salted.key_for(GRID[0])) is None
+
+    def test_max_events_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        assert cache.key_for(GRID[0]) != cache.key_for(GRID[0], max_events=10_000)
+
+    def test_metrics_round_trip_through_json(self):
+        metrics = run_grid([GRID[0]], jobs=1, cache=False)[0]
+        restored = metrics_from_dict(json.loads(json.dumps(metrics_to_dict(metrics))))
+        assert restored == metrics
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(root=cache_dir)
+        key = cache.key_for(GRID[0])
+        os.makedirs(cache_dir, exist_ok=True)
+        with open(os.path.join(cache_dir, f"{key}.json"), "w") as fh:
+            fh.write("{truncated")
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+    def test_run_experiment_honors_repro_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        first = run_experiment(GRID[0])
+        clear_memory_cache()
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - must never run
+            raise AssertionError("cache hit expected; simulator was invoked")
+
+        monkeypatch.setattr(parallel, "_simulate", boom)
+        assert run_experiment(GRID[0]) == first

@@ -1,0 +1,115 @@
+"""NetworkStats accounting under fault-model loss/duplication.
+
+The wire-size memo (``Message.wire_size_cached``) means every copy of a
+message reuses one computed size — these tests pin the exact byte/message
+counts so a future change to the memo or the fault loop can't silently
+double- or under-count duplicated traffic.
+
+Accounting contract (see ``Network._transmit``):
+
+* ``bytes_sent``/``messages_sent`` count one unit per *addressed destination*
+  (the NIC serializes the copy whether or not the wire drops it).
+* ``bytes_received`` counts one unit per *delivered copy* — duplicates
+  inflate it, drops deflate it.
+* ``messages_dropped`` counts fully dropped (src, dst) sends;
+  ``messages_duplicated`` counts extra copies beyond the first.
+"""
+
+from __future__ import annotations
+
+from repro.net.faults import LinkFault
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+
+class _FixedCopies(LinkFault):
+    """Deterministic fault model: every remote copy count is ``copies``."""
+
+    def __init__(self, copies: int) -> None:
+        self._copies = copies
+
+    def copies(self, src, dst, msg, now):
+        return self._copies
+
+
+class _Probe(Message):
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+    def wire_size(self) -> int:
+        return self._size
+
+    def kind(self) -> str:
+        return "probe"
+
+
+def _build(n: int, faults: LinkFault | None):
+    sim = Simulator()
+    net = Network(sim, n, faults=faults)
+    delivered: list[tuple[int, Message]] = []
+    for node in range(n):
+        net.register(node, lambda src, msg, _node=node: delivered.append((_node, msg)))
+    return sim, net, delivered
+
+
+def test_duplicated_copies_counted_once_sent_twice_received():
+    sim, net, delivered = _build(3, _FixedCopies(2))
+    msg = _Probe(1000)
+    net.multicast(0, (1, 2), msg)
+    sim.run(until=10.0)
+    stats = net.stats
+    # Sender serialized one copy per destination — duplication happens on the
+    # wire, not at the NIC.
+    assert stats.bytes_sent[0] == 2 * 1000
+    assert stats.messages_sent[0] == 2
+    assert stats.messages_duplicated == 2  # one extra copy per destination
+    assert stats.messages_dropped == 0
+    # Receivers saw two copies each, every copy at the memoized size.
+    assert len(delivered) == 4
+    assert stats.bytes_received[1] == 2 * 1000
+    assert stats.bytes_received[2] == 2 * 1000
+
+
+def test_dropped_copies_are_sent_but_never_received():
+    sim, net, delivered = _build(3, _FixedCopies(0))
+    net.multicast(0, (1, 2), _Probe(500))
+    sim.run(until=10.0)
+    stats = net.stats
+    assert stats.bytes_sent[0] == 2 * 500
+    assert stats.messages_sent[0] == 2
+    assert stats.messages_dropped == 2
+    assert stats.messages_duplicated == 0
+    assert delivered == []
+    assert stats.bytes_received[1] == 0
+    assert stats.bytes_received[2] == 0
+
+
+def test_loopback_is_exempt_from_faults():
+    sim, net, delivered = _build(2, _FixedCopies(0))
+    net.broadcast(0, _Probe(100))
+    sim.run(until=10.0)
+    # The remote copy dropped; the self-delivery did not.
+    assert [node for node, _ in delivered] == [0]
+    assert net.stats.messages_dropped == 1
+    assert net.stats.bytes_received[0] == 100
+
+
+def test_wire_size_memo_consistent_across_copies_and_kind_tracking():
+    sim = Simulator()
+    net = Network(sim, 3, faults=_FixedCopies(3), track_kinds=True)
+    for node in range(3):
+        net.register(node, lambda src, msg: None)
+    msg = _Probe(256)
+    net.multicast(0, (1, 2), msg)
+    net.multicast(0, (1, 2), msg)  # same instance again: memo must not drift
+    sim.run(until=10.0)
+    stats = net.stats
+    assert stats.bytes_sent[0] == 4 * 256
+    assert stats.bytes_by_kind["probe"] == 4 * 256
+    assert stats.messages_by_kind["probe"] == 4
+    assert stats.messages_duplicated == 4 * 2
+    # Every delivered copy credited at the same memoized size.
+    assert stats.bytes_received[1] == 6 * 256
+    assert stats.bytes_received[2] == 6 * 256
+    assert msg.wire_size_cached() == 256
