@@ -1,0 +1,19 @@
+"""Determinism & protocol-invariant analysis.
+
+Two halves, one contract:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — the static
+  AST pass behind ``python -m repro analyze`` (DET/MSG/SIM rule pack,
+  inline suppressions, committed baseline).
+* :mod:`repro.analysis.sanitizers` — opt-in runtime checks
+  (``REPRO_SANITIZE=1``): freeze-after-send, RNG stream-collision
+  detection, scheduler tie-order audit.
+
+This package init stays import-light on purpose: the scheduler, network,
+and RNG layers import :mod:`~repro.analysis.sanitizers` on their hot
+construction paths, and must not drag the whole rule engine with it.
+"""
+
+from . import sanitizers
+
+__all__ = ["sanitizers"]

@@ -1,0 +1,339 @@
+"""AST rule engine behind ``python -m repro analyze``.
+
+The reproduction rests on invariants no generic linter checks: all randomness
+flows through :mod:`repro.sim.rng` named streams, messages are immutable once
+handed to the network, and nothing on a protocol path may depend on set/dict
+iteration order or ``id()``.  This module is the machinery; the rules
+themselves live in :mod:`repro.analysis.rules`.
+
+Design:
+
+* Each file is parsed **once** into a :class:`FileContext` (source lines,
+  AST with parent links, nodes bucketed by type, import-alias table).  Rules
+  receive the context and yield :class:`Finding`s — no per-rule re-parsing.
+* A finding on a line carrying ``# repro: allow[RULE]`` (or ``allow[*]``) is
+  suppressed at collection time; suppressions are counted so reports can say
+  how much is being waved through.
+* A committed **baseline** file grandfathers known findings.  Baseline keys
+  are ``(rule, path, stripped-source-line)`` rather than line numbers, so
+  unrelated edits don't invalidate entries; each entry carries a mandatory
+  ``justification`` string.  ``analyze`` fails only on *new* findings and
+  reports stale baseline entries so the file shrinks over time.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from ..errors import ConfigError
+
+#: Ordered from most to least severe; both levels gate the exit code.
+SEVERITIES = ("error", "warning")
+
+#: Directory names never descended into (``scripts/__pycache__`` and
+#: ``benchmarks/__pycache__`` are the usual offenders when analyzing a
+#: whole checkout — byte-compiled caches are not source).
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", ".ruff_cache"})
+
+#: Marker that introduces an inline suppression comment.
+_ALLOW_MARKER = "# repro: allow["
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    #: The stripped source line — the stable part of the baseline key.
+    snippet: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] = {}
+        self._by_type: dict[type, list[ast.AST]] = {}
+        for parent in ast.walk(tree):
+            bucket = self._by_type.setdefault(type(parent), [])
+            bucket.append(parent)
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.import_aliases = self._collect_imports()
+
+    def _collect_imports(self) -> dict[str, str]:
+        """Local name → dotted imported name (``import time as _time`` →
+        ``{"_time": "time"}``; ``from datetime import datetime`` →
+        ``{"datetime": "datetime.datetime"}``)."""
+        aliases: dict[str, str] = {}
+        for node in self.nodes(ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import os.path`` binds ``os``.
+                    root = alias.name.split(".", 1)[0]
+                    aliases[root] = root
+        for node in self.nodes(ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports are package-internal
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def nodes(self, *types: type) -> list[ast.AST]:
+        """All nodes of exactly these AST types, in source order."""
+        out: list[ast.AST] = []
+        for t in types:
+            out.extend(self._by_type.get(t, ()))
+        if len(types) > 1:
+            out.sort(key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)))
+        return out
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents from nearest outwards, up to the module."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Resolve an ``a.b.c`` Name/Attribute chain through import aliases.
+
+        Returns ``None`` when the chain is not rooted in a plain name (e.g.
+        a call result or subscript).
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.import_aliases.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def snippet(self, line: int) -> str:
+        if 0 < line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, severity: str | None = None
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule.rule_id,
+            severity=severity or rule.severity,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """One mechanically checkable protocol invariant.
+
+    Implementations are stateless: :meth:`check` receives a fully prepared
+    :class:`FileContext` and yields findings for that file only.
+    """
+
+    rule_id: str
+    severity: str
+    summary: str
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]: ...
+
+
+def _allowed_rules(line: str) -> frozenset[str] | None:
+    """Parse the ``# repro: allow[DET001,MSG002]`` suppression on a line."""
+    idx = line.find(_ALLOW_MARKER)
+    if idx < 0:
+        return None
+    rest = line[idx + len(_ALLOW_MARKER):]
+    end = rest.find("]")
+    if end < 0:
+        return None
+    names = frozenset(part.strip() for part in rest[:end].split(",") if part.strip())
+    return names or None
+
+
+class Analyzer:
+    """Runs a rule pack over files and directories."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules: list[Rule] = list(rules)
+        #: Suppressions honoured during the last run (for reporting).
+        self.suppressed = 0
+        #: Files analyzed during the last run.
+        self.files_analyzed = 0
+        #: Files that failed to parse: list of (path, error message).
+        self.parse_errors: list[tuple[str, str]] = []
+
+    def analyze_source(self, source: str, path: str = "<memory>") -> list[Finding]:
+        """Analyze one source string (the unit-test entry point)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_errors.append((path, str(exc)))
+            return []
+        ctx = FileContext(path, source, tree)
+        findings: list[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(ctx))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return self._apply_suppressions(ctx, findings)
+
+    def _apply_suppressions(
+        self, ctx: FileContext, findings: list[Finding]
+    ) -> list[Finding]:
+        kept: list[Finding] = []
+        for finding in findings:
+            allowed = _allowed_rules(ctx.snippet(finding.line) or "")
+            if allowed and (finding.rule in allowed or "*" in allowed):
+                self.suppressed += 1
+                continue
+            kept.append(finding)
+        return kept
+
+    def analyze_file(self, filepath: str, rel: str | None = None) -> list[Finding]:
+        rel = rel if rel is not None else filepath
+        with open(filepath, encoding="utf-8") as fh:
+            source = fh.read()
+        self.files_analyzed += 1
+        return self.analyze_source(source, path=rel.replace(os.sep, "/"))
+
+    def run(self, paths: Iterable[str], root: str | None = None) -> list[Finding]:
+        """Analyze files and directory trees; paths are reported relative to
+        ``root`` (default: the current directory)."""
+        root = os.path.abspath(root or os.getcwd())
+        findings: list[Finding] = []
+        for path in paths:
+            full = path if os.path.isabs(path) else os.path.join(root, path)
+            if os.path.isfile(full):
+                findings.extend(self.analyze_file(full, os.path.relpath(full, root)))
+                continue
+            if not os.path.isdir(full):
+                raise ConfigError(f"analyze target {path!r} does not exist")
+            # Sorting dirnames in place both prunes skipped dirs and makes
+            # os.walk's traversal order deterministic (it recurses in
+            # dirnames order); sorting the walk generator itself would
+            # consume it before the pruning could take effect.
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+                for name in sorted(filenames):
+                    if not name.endswith(".py"):
+                        continue
+                    filepath = os.path.join(dirpath, name)
+                    findings.extend(
+                        self.analyze_file(filepath, os.path.relpath(filepath, root))
+                    )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def load_baseline(path: str) -> dict[tuple[str, str, str], int]:
+    """Load a baseline file into ``key → grandfathered count``."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ConfigError(f"baseline {path!r} is not a repro-analyze baseline")
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in data["findings"]:
+        key = (entry["rule"], entry["path"], entry["snippet"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> None:
+    """Write the current findings as a baseline (justifications start empty
+    and are meant to be filled in by hand before committing)."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    entries = [
+        {
+            "rule": rule,
+            "path": file_path,
+            "snippet": snippet,
+            "count": count,
+            "justification": "",
+        }
+        for (rule, file_path, snippet), count in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "findings": entries}, fh, indent=2)
+        fh.write("\n")
+
+
+@dataclass(frozen=True)
+class BaselineSplit:
+    """Findings partitioned against a baseline."""
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    #: Baseline keys whose grandfathered count exceeded current findings —
+    #: the entry can be shrunk or deleted.
+    stale: tuple[tuple[str, str, str], ...]
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: dict[tuple[str, str, str], int]
+) -> BaselineSplit:
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = tuple(key for key, count in sorted(remaining.items()) if count > 0)
+    return BaselineSplit(tuple(new), tuple(grandfathered), stale)

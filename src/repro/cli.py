@@ -2,6 +2,9 @@
 
 Commands:
 
+* ``analyze`` — determinism & protocol-invariant static analysis
+  (``docs/ANALYSIS.md``): DET/MSG/SIM rule pack, inline suppressions,
+  committed baseline; exits non-zero on any non-baselined finding.
 * ``stats`` — committee statistics (Fig. 1 / §6.2 machinery).
 * ``run`` — simulate one protocol configuration and print metrics.
 * ``sweep`` — a load sweep (one Fig. 5-style curve) for one protocol.
@@ -270,6 +273,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default analysis targets, relative to the working directory.
+ANALYZE_DEFAULT_PATHS = ("src/repro",)
+
+#: Default committed baseline file (used when present).
+ANALYZE_DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .analysis.engine import (
+        Analyzer,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    paths = args.paths or list(ANALYZE_DEFAULT_PATHS)
+    analyzer = Analyzer()
+    findings = analyzer.run(paths)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(ANALYZE_DEFAULT_BASELINE):
+        baseline_path = ANALYZE_DEFAULT_BASELINE
+    if args.write_baseline:
+        target = baseline_path or ANALYZE_DEFAULT_BASELINE
+        write_baseline(findings, target)
+        print(
+            f"baseline written to {target} ({len(findings)} findings — "
+            "fill in each entry's justification before committing)"
+        )
+        return 0
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    split = apply_baseline(findings, baseline)
+
+    if args.json:
+        payload = {
+            "version": 1,
+            "files": analyzer.files_analyzed,
+            "suppressed": analyzer.suppressed,
+            "baseline": baseline_path,
+            "findings": [
+                {**f.to_json(), "baselined": f in split.baselined}
+                for f in findings
+            ],
+            "new_count": len(split.new),
+            "baselined_count": len(split.baselined),
+            "stale_baseline": [
+                {"rule": rule, "path": path, "snippet": snippet}
+                for rule, path, snippet in split.stale
+            ],
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in analyzer.parse_errors
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in split.new:
+            print(finding.format())
+        for rule, path, snippet in split.stale:
+            print(
+                f"stale baseline entry: {rule} at {path} "
+                f"({snippet!r} no longer found — prune it)"
+            )
+        for path, error in analyzer.parse_errors:
+            print(f"parse error: {path}: {error}")
+        print(
+            f"{analyzer.files_analyzed} files: {len(split.new)} new finding(s), "
+            f"{len(split.baselined)} baselined, {analyzer.suppressed} suppressed, "
+            f"{len(split.stale)} stale baseline entr(ies)"
+        )
+    return 1 if split.new or analyzer.parse_errors else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -323,6 +402,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Clan-based DAG BFT SMR reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="determinism & protocol-invariant static analysis (docs/ANALYSIS.md)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to analyze (default: {' '.join(ANALYZE_DEFAULT_PATHS)})",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit a machine-readable report"
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {ANALYZE_DEFAULT_BASELINE} when present)"
+        ),
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
 
     stats = sub.add_parser("stats", help="committee statistics for a tribe size")
     stats.add_argument("n", type=int)

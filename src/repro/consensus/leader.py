@@ -32,7 +32,9 @@ class LeaderSchedule:
         order = self._epochs.get(epoch)
         if order is None:
             order = list(range(self.n))
-            make_rng(self.seed, "leader-schedule", epoch).shuffle(order)
+            # shared=True: the schedule is common knowledge — every node
+            # re-derives this exact stream so all parties agree on leaders.
+            make_rng(self.seed, "leader-schedule", epoch, shared=True).shuffle(order)
             self._epochs[epoch] = order
         return order
 

@@ -45,3 +45,9 @@ class ConsensusError(ReproError):
 
 class ExecutionError(ReproError):
     """State-machine execution failed (bad transaction, missing block, ...)."""
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer (``REPRO_SANITIZE=1``) caught an invariant
+    violation: a message mutated after send, an RNG stream collision, or a
+    misuse of the sanitizer API itself."""

@@ -86,7 +86,9 @@ class UniformLatencyModel(LatencyModel):
             raise ConfigError("latency/jitter must be non-negative")
         self._base = base
         self._jitter = jitter
-        self._rng = make_rng(seed, "uniform-latency")
+        # Jitter-free models never draw: deriving a stream anyway would
+        # register a phantom consumer with the RNG-collision sanitizer.
+        self._rng = make_rng(seed, "uniform-latency") if jitter else None
 
     def delay(self, src: NodeId, dst: NodeId) -> float:
         if self._jitter == 0.0:
@@ -122,7 +124,7 @@ class GeoLatencyModel(LatencyModel):
         rtts = GCP_RTT_MS if rtt_ms is None else rtt_ms
         self._regions = list(node_regions)
         self._jitter = jitter
-        self._rng = make_rng(seed, "geo-latency")
+        self._rng = make_rng(seed, "geo-latency") if jitter else None
         # Pre-resolve per-pair one-way base delays in seconds.
         self._base: list[list[float]] = []
         for src_region in self._regions:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Iterable
 
+from ..analysis import sanitizers as _sanitizers
 from ..errors import NetworkError
 from ..obs.tracer import NULL_TRACER
 from ..sim.scheduler import Simulator
@@ -106,6 +107,15 @@ class Network:
         self._crashed = [False] * n
         #: Per-node (on_crash, on_recover) callback pairs.
         self._lifecycle: dict[NodeId, list[tuple]] = defaultdict(list)
+        # Freeze-after-send sanitizer (REPRO_SANITIZE=1): digests messages at
+        # send, re-checks at delivery.  None (the default) costs one None
+        # check per transmit/handle.
+        self._freeze = _sanitizers.FreezeGuard() if _sanitizers.enabled() else None
+
+    @property
+    def freeze_guard(self):
+        """The ``REPRO_SANITIZE=1`` freeze-after-send guard (None when off)."""
+        return self._freeze
 
     def register(self, node_id: NodeId, handler: Handler) -> None:
         """Register the message handler for ``node_id``."""
@@ -184,6 +194,8 @@ class Network:
     def _transmit(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
         if self._crashed[src]:
             return
+        if self._freeze is not None:
+            self._freeze.on_send(msg)
         if self._tracer.enabled:
             self._transmit_traced(src, dsts, msg)
             return
@@ -334,6 +346,8 @@ class Network:
     def _handle(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
         if self._crashed[dst]:
             return
+        if self._freeze is not None:
+            self._freeze.on_deliver(msg)
         self.stats.bytes_received[dst] += size
         handler = self._handlers[dst]
         if handler is not None:

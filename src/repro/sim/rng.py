@@ -6,12 +6,19 @@ changing how one component consumes randomness never perturbs another.  A
 stream is identified by the master seed plus any number of string/int labels;
 the stream seed is the SHA-256 of the labels, so streams are reproducible and
 statistically independent.
+
+Under ``REPRO_SANITIZE=1`` every derivation is registered with the
+stream-collision sanitizer: two components deriving the same labels in one
+run is an error unless the stream is declared ``shared=True`` (deterministic
+common knowledge, e.g. the leader-schedule beacon every node re-derives).
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+
+from ..analysis import sanitizers as _sanitizers
 
 
 def stream_seed(master_seed: int, *labels: object) -> int:
@@ -30,6 +37,15 @@ def stream_seed(master_seed: int, *labels: object) -> int:
     return int.from_bytes(h.digest()[:8], "big")
 
 
-def make_rng(master_seed: int, *labels: object) -> random.Random:
-    """Create a :class:`random.Random` seeded for the named stream."""
+def make_rng(master_seed: int, *labels: object, shared: bool = False) -> random.Random:
+    """Create a :class:`random.Random` seeded for the named stream.
+
+    Args:
+        shared: declare the stream as intentionally common knowledge —
+            several components may re-derive it (each gets an independent
+            generator over the same sequence).  Exempts the derivation from
+            the ``REPRO_SANITIZE=1`` collision check.
+    """
+    if _sanitizers.enabled():
+        _sanitizers.note_stream(master_seed, labels, shared=shared)
     return random.Random(stream_seed(master_seed, *labels))

@@ -22,6 +22,7 @@ import heapq
 import time as _time
 from typing import Any, Callable
 
+from ..analysis import sanitizers as _sanitizers
 from ..errors import SimulationError
 from ..obs.tracer import NULL_TRACER
 
@@ -92,6 +93,7 @@ class Simulator:
         "_compact_threshold",
         "_compactions",
         "_tracer",
+        "_audit",
     )
 
     def __init__(self, tracer=None, compact_threshold: int = 1024) -> None:
@@ -104,6 +106,19 @@ class Simulator:
         self._compact_threshold = compact_threshold
         self._compactions = 0
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        # One simulator = one run: creating it is the sanitizer run boundary.
+        # Off (the default), _audit is None and scheduling pays one None
+        # check; on, every (time, callback) insertion feeds the tie auditor.
+        if _sanitizers.enabled():
+            _sanitizers.begin_run()
+            self._audit = _sanitizers.TieAudit()
+        else:
+            self._audit = None
+
+    @property
+    def tie_audit(self):
+        """The ``REPRO_SANITIZE=1`` tie-order auditor (None when off)."""
+        return self._audit
 
     @property
     def now(self) -> float:
@@ -149,6 +164,8 @@ class Simulator:
         self._seq += 1
         entry = [when, self._seq, fn, args]
         heapq.heappush(self._queue, entry)
+        if self._audit is not None:
+            self._audit.note(when, fn)
         return EventHandle(entry, self)
 
     def post(self, when: float, fn: Callable[..., Any], args: tuple) -> None:
@@ -163,6 +180,8 @@ class Simulator:
             )
         self._seq += 1
         heapq.heappush(self._queue, [when, self._seq, fn, args])
+        if self._audit is not None:
+            self._audit.note(when, fn)
 
     def stop(self) -> None:
         """Make :meth:`run` return after the current event finishes."""

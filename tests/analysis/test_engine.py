@@ -1,0 +1,153 @@
+"""Engine mechanics: suppressions, baseline round-trip, CLI surface."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import (
+    Analyzer,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.cli import main
+from repro.errors import ConfigError
+
+BAD_SOURCE = textwrap.dedent(
+    """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def test_suppression_comment_silences_matching_rule():
+    analyzer = Analyzer()
+    findings = analyzer.analyze_source(
+        "import time\nt = time.time()  # repro: allow[DET002]\n"
+    )
+    assert findings == []
+    assert analyzer.suppressed == 1
+
+
+def test_suppression_wildcard():
+    analyzer = Analyzer()
+    assert analyzer.analyze_source("import time\nt = time.time()  # repro: allow[*]\n") == []
+    assert analyzer.suppressed == 1
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    analyzer = Analyzer()
+    findings = analyzer.analyze_source(
+        "import time\nt = time.time()  # repro: allow[DET001]\n"
+    )
+    assert [f.rule for f in findings] == ["DET002"]
+    assert analyzer.suppressed == 0
+
+
+def test_parse_error_is_recorded_not_raised():
+    analyzer = Analyzer()
+    assert analyzer.analyze_source("def broken(:\n") == []
+    assert len(analyzer.parse_errors) == 1
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = Analyzer().analyze_source(BAD_SOURCE, path="pkg/mod.py")
+    assert findings, "fixture must produce findings"
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(findings, str(baseline_file))
+
+    baseline = load_baseline(str(baseline_file))
+    split = apply_baseline(findings, baseline)
+    assert split.new == ()
+    assert len(split.baselined) == len(findings)
+    assert split.stale == ()
+
+
+def test_baseline_survives_line_shift(tmp_path):
+    findings = Analyzer().analyze_source(BAD_SOURCE, path="pkg/mod.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(findings, str(baseline_file))
+
+    # Same offending line, shifted down by a new leading comment: the key is
+    # (rule, path, snippet), so the entry still matches.
+    shifted = "# a new comment\n" + BAD_SOURCE
+    shifted_findings = Analyzer().analyze_source(shifted, path="pkg/mod.py")
+    split = apply_baseline(shifted_findings, load_baseline(str(baseline_file)))
+    assert split.new == ()
+    assert split.stale == ()
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    findings = Analyzer().analyze_source(BAD_SOURCE, path="pkg/mod.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(findings, str(baseline_file))
+
+    split = apply_baseline([], load_baseline(str(baseline_file)))
+    assert len(split.stale) == len(findings)
+
+
+def test_load_baseline_rejects_foreign_json(tmp_path):
+    bad = tmp_path / "not_a_baseline.json"
+    bad.write_text("[1, 2, 3]\n")
+    with pytest.raises(ConfigError):
+        load_baseline(str(bad))
+
+
+def test_analyzer_skips_pycache_dirs(tmp_path):
+    pkg = tmp_path / "pkg"
+    cache = pkg / "__pycache__"
+    cache.mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n")
+    (cache / "stale.py").write_text("import time\nt = time.time()\n")
+
+    analyzer = Analyzer()
+    findings = analyzer.run(["pkg"], root=str(tmp_path))
+    assert findings == []
+    assert analyzer.files_analyzed == 1
+
+
+def test_cli_json_shape(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+
+    rc = main(["analyze", "mod.py", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+
+    assert rc == 1
+    assert payload["version"] == 1
+    assert payload["files"] == 1
+    assert payload["new_count"] == 1
+    assert payload["baselined_count"] == 0
+    assert payload["stale_baseline"] == []
+    assert payload["parse_errors"] == []
+    finding = payload["findings"][0]
+    assert finding["rule"] == "DET002"
+    assert finding["baselined"] is False
+    assert set(finding) >= {"rule", "severity", "path", "line", "col", "message", "snippet"}
+
+
+def test_cli_write_baseline_then_clean_exit(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+
+    assert main(["analyze", "mod.py", "--baseline", "baseline.json", "--write-baseline"]) == 0
+    capsys.readouterr()
+    # With the baseline in place the same findings are grandfathered.
+    assert main(["analyze", "mod.py", "--baseline", "baseline.json"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+    assert "1 baselined" in out
+
+
+def test_cli_exit_code_on_new_findings(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["analyze", "mod.py"]) == 1
+    assert "DET002" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+"""The checked-in tree must satisfy its own analyzer (satellite guarantee)."""
+
+import os
+
+from repro.analysis.engine import Analyzer, apply_baseline, load_baseline
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def test_src_tree_has_no_unbaselined_findings():
+    analyzer = Analyzer()
+    findings = analyzer.run(["src/repro"], root=REPO_ROOT)
+    baseline_path = os.path.join(REPO_ROOT, "analysis_baseline.json")
+    baseline = load_baseline(baseline_path) if os.path.exists(baseline_path) else {}
+    split = apply_baseline(findings, baseline)
+    assert analyzer.parse_errors == []
+    assert split.new == (), "\n".join(f.format() for f in split.new)
+
+
+def test_gitignore_covers_pycache():
+    # scripts/ and benchmarks/ byte-compiled caches must never be committed
+    # (or analyzed — the engine prunes them, see SKIP_DIRS).
+    with open(os.path.join(REPO_ROOT, ".gitignore"), encoding="utf-8") as fh:
+        patterns = [line.strip() for line in fh]
+    assert "__pycache__/" in patterns

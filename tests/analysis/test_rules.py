@@ -1,0 +1,356 @@
+"""Per-rule fixtures: each rule has a failing snippet and a clean counterpart."""
+
+import textwrap
+
+from repro.analysis.engine import Analyzer
+
+
+def run(source, path="pkg/mod.py"):
+    return Analyzer().analyze_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(source, path="pkg/mod.py"):
+    return [f.rule for f in run(source, path=path)]
+
+
+# -- DET001: raw random module ------------------------------------------------
+
+
+def test_det001_flags_global_random_attribute():
+    findings = run(
+        """\
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    )
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].line == 4
+
+
+def test_det001_flags_random_random_constructor():
+    assert "DET001" in rule_ids(
+        """\
+        import random
+        rng = random.Random(42)
+        """
+    )
+
+
+def test_det001_flags_from_import():
+    assert "DET001" in rule_ids("from random import choice\n")
+
+
+def test_det001_exempts_the_rng_module_itself():
+    source = """\
+        import random
+        rng = random.Random(7)
+        """
+    assert rule_ids(source, path="src/repro/sim/rng.py") == []
+    assert "DET001" in rule_ids(source, path="src/repro/consensus/leader.py")
+
+
+def test_det001_clean_named_streams():
+    assert (
+        rule_ids(
+            """\
+            from repro.sim.rng import make_rng
+
+            def jitter(seed):
+                return make_rng(seed, "jitter").random()
+            """
+        )
+        == []
+    )
+
+
+# -- DET002: wall clock / OS entropy ------------------------------------------
+
+
+def test_det002_flags_time_time_through_alias():
+    findings = run(
+        """\
+        import time as _time
+
+        def stamp():
+            return _time.time()
+        """
+    )
+    assert [f.rule for f in findings] == ["DET002"]
+
+
+def test_det002_flags_datetime_now_os_urandom_uuid4():
+    ids = rule_ids(
+        """\
+        import os
+        import uuid
+        from datetime import datetime
+
+        def fresh():
+            return datetime.now(), os.urandom(8), uuid.uuid4()
+        """
+    )
+    assert ids.count("DET002") == 3
+
+
+def test_det002_allows_perf_counter():
+    # Wall-clock *measurement* (tracing, profiling) is fine; only sources
+    # that can leak into simulated state are banned.
+    assert (
+        rule_ids(
+            """\
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """
+        )
+        == []
+    )
+
+
+# -- DET003: unordered iteration ----------------------------------------------
+
+
+def test_det003_set_variable_feeding_send_is_error():
+    findings = run(
+        """\
+        def gossip(net, peers):
+            members = set(peers)
+            for p in members:
+                net.send(0, p, None)
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("DET003", "error")]
+
+
+def test_det003_set_literal_without_sink_is_warning():
+    findings = run(
+        """\
+        def tally():
+            total = 0
+            for x in {1, 2, 3}:
+                total += x
+            return total
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("DET003", "warning")]
+
+
+def test_det003_dict_keys_feeding_schedule_is_error():
+    findings = run(
+        """\
+        def arm(sim, timers):
+            for name in timers.keys():
+                sim.schedule(1.0, print, name)
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("DET003", "error")]
+
+
+def test_det003_sorted_iteration_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def gossip(net, peers):
+                members = set(peers)
+                for p in sorted(members):
+                    net.send(0, p, None)
+            """
+        )
+        == []
+    )
+
+
+def test_det003_reassigned_to_list_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def gossip(net, peers):
+                members = set(peers)
+                members = sorted(members)
+                for p in members:
+                    net.send(0, p, None)
+            """
+        )
+        == []
+    )
+
+
+# -- DET004: identity/hash ordering -------------------------------------------
+
+
+def test_det004_id_in_comparison():
+    findings = run(
+        """\
+        def same(a, b):
+            return id(a) == id(b)
+        """
+    )
+    assert {f.rule for f in findings} == {"DET004"}
+
+
+def test_det004_hash_as_sort_key():
+    assert "DET004" in rule_ids(
+        """\
+        def order(items):
+            return sorted(items, key=lambda v: hash(v))
+        """
+    )
+
+
+def test_det004_bare_hash_keyword():
+    assert "DET004" in rule_ids("order = sorted([1, 2], key=hash)\n")
+
+
+def test_det004_field_sort_key_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def order(items):
+                return sorted(items, key=lambda v: v.node_id)
+            """
+        )
+        == []
+    )
+
+
+# -- MSG001: message shape ----------------------------------------------------
+
+
+def test_msg001_missing_slots_and_wire_size():
+    findings = run(
+        """\
+        from repro.net.message import Message
+
+        class VoteMsg(Message):
+            def __init__(self, round):
+                self.round = round
+        """
+    )
+    messages = sorted(f.message for f in findings)
+    assert [f.rule for f in findings] == ["MSG001", "MSG001"]
+    assert any("__slots__" in m for m in messages)
+    assert any("wire_size" in m for m in messages)
+
+
+def test_msg001_dataclass_slots_with_wire_size_is_clean():
+    assert (
+        rule_ids(
+            """\
+            from dataclasses import dataclass
+
+            from repro.net.message import Message
+
+            @dataclass(slots=True)
+            class VoteMsg(Message):
+                round: int
+
+                def wire_size(self):
+                    return 84
+            """
+        )
+        == []
+    )
+
+
+def test_msg001_explicit_slots_is_clean():
+    assert (
+        rule_ids(
+            """\
+            from repro.net.message import Message
+
+            class Blob(Message):
+                __slots__ = ("size",)
+
+                def wire_size(self):
+                    return self.size
+            """
+        )
+        == []
+    )
+
+
+# -- MSG002: mutation after send ----------------------------------------------
+
+
+def test_msg002_mutation_after_send():
+    findings = run(
+        """\
+        def propose(net, msg):
+            net.multicast(0, [1, 2], msg)
+            msg.round = 5
+        """
+    )
+    assert [f.rule for f in findings] == ["MSG002"]
+
+
+def test_msg002_mutation_before_send_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def propose(net, msg):
+                msg.round = 5
+                net.multicast(0, [1, 2], msg)
+            """
+        )
+        == []
+    )
+
+
+def test_msg002_rebound_name_is_clean():
+    # After rebinding, `msg` is a different object; mutating it is fine.
+    assert (
+        rule_ids(
+            """\
+            def propose(net, msg, fresh):
+                net.send(0, 1, msg)
+                msg = fresh()
+                msg.round = 5
+            """
+        )
+        == []
+    )
+
+
+# -- SIM001: float equality on simulated time ---------------------------------
+
+
+def test_sim001_equality_on_now_and_deadline():
+    findings = run(
+        """\
+        def expired(sim, deadline, t):
+            if sim.now == 3.0:
+                return True
+            return deadline != t
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [
+        ("SIM001", "warning"),
+        ("SIM001", "warning"),
+    ]
+
+
+def test_sim001_ordering_comparison_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def expired(sim, deadline):
+                return sim.now >= deadline
+            """
+        )
+        == []
+    )
+
+
+def test_sim001_none_check_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def armed(deadline):
+                return deadline != None
+            """
+        )
+        == []
+    )

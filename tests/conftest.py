@@ -1,0 +1,25 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+from repro.analysis import sanitizers
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_run_boundary(request, monkeypatch):
+    """Each test is its own sanitizer run.
+
+    The RNG stream-collision registry (REPRO_SANITIZE=1) is normally reset
+    when a Simulator is created — one simulator, one run.  Tests that build
+    seeded components without ever creating a Simulator would otherwise
+    accumulate registrations across test cases and trip false collisions.
+
+    Tests whose very purpose is re-deriving identical streams (determinism
+    checks constructing same-seed components back to back, where every
+    construction models a fresh run) carry the ``rederives_rng_streams``
+    marker, which switches the sanitizers off for that test only.
+    """
+    if request.node.get_closest_marker("rederives_rng_streams"):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sanitizers.begin_run()
+    yield

@@ -30,6 +30,7 @@ def test_rotation_changes_clans():
         assert len(schedule.cfg_of_epoch(e).clan(0)) == 8
 
 
+@pytest.mark.rederives_rng_streams
 def test_schedule_deterministic():
     a = ClanSchedule("multi-clan", 12, epoch_length=7, clans=2, seed=3)
     b = ClanSchedule("multi-clan", 12, epoch_length=7, clans=2, seed=3)

@@ -13,6 +13,7 @@ class Probe(Message):
     __slots__ = ()
 
 
+@pytest.mark.rederives_rng_streams
 @settings(max_examples=60, deadline=None)
 @given(
     gst=st.floats(min_value=0.0, max_value=100.0),

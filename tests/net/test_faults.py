@@ -65,6 +65,7 @@ class TestLossyLink:
         drop_rate = outcomes.count(0) / len(outcomes)
         assert 0.25 < drop_rate < 0.35
 
+    @pytest.mark.rederives_rng_streams
     def test_deterministic_per_seed_and_link(self):
         a = [LossyLink(0.3, 0.1, seed=9).copies(0, 1, None, 0.0) for _ in range(100)]
         b = [LossyLink(0.3, 0.1, seed=9).copies(0, 1, None, 0.0) for _ in range(100)]
@@ -72,6 +73,7 @@ class TestLossyLink:
         assert a == b
         assert a != c
 
+    @pytest.mark.rederives_rng_streams
     def test_links_use_independent_streams(self):
         link = LossyLink(0.5, seed=3)
         ab = [link.copies(0, 1, None, 0.0) for _ in range(100)]

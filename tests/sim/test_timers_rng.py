@@ -1,5 +1,7 @@
 """Tests for timers and named RNG streams."""
 
+import pytest
+
 from repro.sim import Simulator, Timer, make_rng, stream_seed
 
 
@@ -59,6 +61,7 @@ def test_stream_seed_deterministic_and_distinct():
     assert stream_seed(1, "a", "b") != stream_seed(1, "ab")
 
 
+@pytest.mark.rederives_rng_streams
 def test_make_rng_streams_independent():
     a1 = make_rng(7, "x").random()
     b1 = make_rng(7, "y").random()
