@@ -20,6 +20,8 @@ MSG001 (error)    ``Message`` subclass missing ``__slots__`` or ``wire_size``
 MSG002 (error)    assignment to a message's fields after it was passed to
                   ``send``/``multicast``/``broadcast`` in the same scope
 SIM001 (warning)  float ``==`` / ``!=`` on simulated-time values
+OBS001 (warning)  tracer emission inside a loop without an
+                  ``if ...tracer.enabled:`` guard
 ================  ==========================================================
 """
 
@@ -536,6 +538,73 @@ class SimTimeEqualityRule:
         return None
 
 
+#: Tracer emission methods; each call allocates a record (and an attrs dict).
+_TRACER_EMITS = frozenset({"counter", "gauge", "span", "anomaly", "begin", "end"})
+
+
+class UnguardedTracerRule:
+    """OBS001: tracer emissions in loops hide behind ``tracer.enabled``.
+
+    ``NullTracer`` makes an unguarded call *correct* but not free: argument
+    evaluation still builds an attrs dict (and often formats a digest) per
+    iteration, which is exactly the hot-loop overhead the ≤5 % tracing budget
+    (``tests/obs/test_overhead.py``) exists to prevent.  The house idiom is::
+
+        if self.tracer.enabled:
+            self.tracer.counter(...)
+
+    with the guard either around the call or hoisted outside the loop.
+    """
+
+    rule_id = "OBS001"
+    severity = "warning"
+    summary = "unguarded tracer emission inside a loop"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.nodes(ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _TRACER_EMITS:
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) < 2 or parts[-2] not in ("tracer", "_tracer"):
+                continue
+            in_loop = False
+            guarded = False
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                    in_loop = True
+                elif isinstance(ancestor, ast.If) and self._tests_enabled(
+                    ancestor.test
+                ):
+                    guarded = True
+                elif isinstance(
+                    ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    break
+            if in_loop and not guarded:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{dotted}(...)` runs inside a loop without an "
+                    "`if ...tracer.enabled:` guard; even with tracing off it "
+                    "builds an attrs dict every iteration — guard the call or "
+                    "hoist the guard outside the loop",
+                )
+
+    @staticmethod
+    def _tests_enabled(test: ast.AST) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "enabled":
+                return True
+        return False
+
+
 def default_rules() -> list[Rule]:
     """The shipped rule pack, in rule-id order."""
     return [
@@ -546,4 +615,5 @@ def default_rules() -> list[Rule]:
         MessageShapeRule(),
         MutateAfterSendRule(),
         SimTimeEqualityRule(),
+        UnguardedTracerRule(),
     ]

@@ -26,7 +26,7 @@ from ..net.latency import GCP_REGIONS, GCP_RTT_MS
 from ..types import max_faults
 from .model import AnalyticalModel, PAPER_LOADS, ModelPoint
 from .parallel import run_grid
-from .runner import ExperimentConfig, scaled
+from .runner import ExperimentConfig, run_experiment, scaled
 
 #: Paper figure geometries: figure -> (n, single clan size, multi-clan count).
 FIGURE_SCALES = {
@@ -273,3 +273,48 @@ def fig6_load_sweep(
         jobs=jobs,
         cache=cache,
     )
+
+
+def sweep_attribution(
+    figure: str,
+    bandwidth_bps: float = 400e6,
+    cpu_per_message: float = 4e-6,
+) -> list[dict]:
+    """Critical-path attribution for one representative point per protocol.
+
+    Re-runs the sweep's mid-load grid point per protocol with the tracer
+    attached (serial — traced runs bypass the result cache) and attributes
+    commit latency across the forensics segments.  This is where a fig5/fig6
+    throughput gap turns into an explanation: which pipeline stage moved.
+    """
+    from ..forensics.provenance import attribution_rows, build_provenance
+    from ..obs.tracer import Tracer
+
+    base = "fig5c" if figure == "fig6" else figure
+    geom = figure_geometry(base)
+    loads = SIM_LOADS[figure]
+    load = loads[len(loads) // 2]
+    rows: list[dict] = []
+    for protocol in _protocols_for(base):
+        config = point_config(
+            protocol, geom, load, bandwidth_bps, cpu_per_message
+        )
+        tracer = Tracer()
+        run_experiment(config, tracer=tracer)
+        index = build_provenance(tracer.to_dicts())
+        for row in attribution_rows(index):
+            rows.append(
+                {
+                    "figure": figure,
+                    "protocol": protocol,
+                    "n": geom.n,
+                    "txns/proposal": load,
+                    "segment": row["segment"],
+                    "samples": row["count"],
+                    "mean_ms": round(row["mean"] * 1e3, 3),
+                    "p50_ms": round(row["p50"] * 1e3, 3),
+                    "p99_ms": round(row["p99"] * 1e3, 3),
+                    "share": round(row["share"], 4),
+                }
+            )
+    return rows

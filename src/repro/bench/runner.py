@@ -74,6 +74,7 @@ def run_experiment(
     config: ExperimentConfig,
     max_events: int | None = None,
     tracer=None,
+    monitors: bool = False,
 ) -> RunMetrics:
     """Run one configuration end to end and measure it.
 
@@ -84,23 +85,29 @@ def run_experiment(
     Args:
         tracer: optional :class:`repro.obs.Tracer`; threads through the whole
             stack, so any benchmark gains per-stage breakdowns by passing one.
+        monitors: attach the forensics monitor suite
+            (:class:`repro.forensics.monitors.MonitorSuite`) for the run.
+            Purely observational — the returned metrics (including
+            ``sim_events``) are bit-identical either way, which
+            ``tests/forensics/test_monitors.py`` enforces.
 
-    When ``REPRO_CACHE=1`` is set (and no tracer is attached), results are
-    served from / stored into the content-addressed cache of
-    :mod:`repro.bench.parallel`; grid sweeps get caching by default through
-    :func:`repro.bench.parallel.run_grid` instead.
+    When ``REPRO_CACHE=1`` is set (and neither a tracer nor monitors are
+    attached), results are served from / stored into the content-addressed
+    cache of :mod:`repro.bench.parallel`; grid sweeps get caching by default
+    through :func:`repro.bench.parallel.run_grid` instead.
     """
-    if tracer is None and os.environ.get("REPRO_CACHE") == "1":
+    if tracer is None and not monitors and os.environ.get("REPRO_CACHE") == "1":
         from .parallel import run_grid
 
         return run_grid([config], jobs=1, cache=True, max_events=max_events)[0]
-    return _simulate(config, max_events=max_events, tracer=tracer)
+    return _simulate(config, max_events=max_events, tracer=tracer, monitors=monitors)
 
 
 def _simulate(
     config: ExperimentConfig,
     max_events: int | None = None,
     tracer=None,
+    monitors: bool = False,
 ) -> RunMetrics:
     """The uncached simulation path behind :func:`run_experiment`."""
     workload = SyntheticWorkload(txns_per_proposal=config.txns_per_proposal)
@@ -127,8 +134,15 @@ def _simulate(
         faults=faults,
         reliable=config.reliable,
     )
+    suite = None
+    if monitors:
+        from ..forensics.monitors import MonitorSuite
+
+        suite = MonitorSuite(tracer=tracer).attach(deployment)
     deployment.start()
     deployment.run(until=config.duration, max_events=max_events)
+    if suite is not None:
+        suite.finish()
     return measure_run(deployment, workload, config.warmup, config.duration)
 
 

@@ -18,10 +18,11 @@ standalone::
 from __future__ import annotations
 
 import json
+import sys
 from collections import defaultdict
 from typing import Any, Iterable
 
-from ..obs.tracer import Tracer
+from ..obs.tracer import META_TYPE, TraceFile, Tracer
 from .reporting import format_table
 
 #: The per-hop stages, in pipeline order (attr names on net.hop spans).
@@ -29,18 +30,47 @@ HOP_STAGES = ("nic_wait", "tx", "prop", "cpu_wait", "cpu")
 
 
 def load_trace(path: str) -> list[dict[str, Any]]:
-    """Load a JSONL trace file as raw record dicts."""
+    """Load a JSONL trace file as raw record dicts (small files).
+
+    Long sweeps should stream via :class:`~repro.obs.tracer.TraceFile`
+    instead — every table in this module accepts it directly.
+    """
     return Tracer.read_jsonl_dicts(path)
 
 
-def _records_as_dicts(records: Iterable[Any]) -> list[dict[str, Any]]:
-    """Accept raw dicts, typed records, or a Tracer."""
+def _records_as_dicts(records: Iterable[Any]) -> Iterable[dict[str, Any]]:
+    """Accept raw dicts, typed records, a Tracer, or a streaming TraceFile.
+
+    ``TraceFile`` is returned as-is: it re-reads the file on every iteration,
+    so each aggregation pass runs in constant memory.
+    """
     if isinstance(records, Tracer):
         return records.to_dicts()
+    if isinstance(records, TraceFile):
+        return records
     rows = []
     for r in records:
-        rows.append(r if isinstance(r, dict) else r.to_dict())
+        row = r if isinstance(r, dict) else r.to_dict()
+        if row.get("type") != META_TYPE:
+            rows.append(row)
     return rows
+
+
+def dropped_info(records: Iterable[Any]) -> dict[str, Any] | None:
+    """Ring-buffer accounting for a Tracer or TraceFile source, else None."""
+    if isinstance(records, Tracer):
+        return {
+            "emitted": records.emitted,
+            "dropped": records.dropped,
+            "capacity": records._buffer.maxlen,
+        }
+    if isinstance(records, TraceFile) and records.meta is not None:
+        return {
+            "emitted": records.meta.get("emitted"),
+            "dropped": records.dropped,
+            "capacity": records.meta.get("capacity"),
+        }
+    return None
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -202,10 +232,31 @@ def sim_table(records: Iterable[Any]) -> list[dict[str, Any]]:
     return table
 
 
+def _header(records: Iterable[Any]) -> str | None:
+    """Ring-buffer accounting line; loud when records were evicted."""
+    info = dropped_info(records)
+    if info is None:
+        return None
+    line = (
+        f"Trace: {info['emitted']} records emitted, {info['dropped']} dropped "
+        f"(ring capacity {info['capacity']})"
+    )
+    if info["dropped"]:
+        line += (
+            "\nWARNING: the ring buffer evicted records — every aggregate "
+            "below is skewed toward the end of the run; re-run with a higher "
+            "--capacity."
+        )
+    return line
+
+
 def format_trace_report(records: Iterable[Any]) -> str:
     """Render the full per-stage report for a trace."""
     rows = _records_as_dicts(records)
     sections = []
+    header = _header(records)
+    if header:
+        sections.append(header)
     hop_table = hop_stage_table(rows)
     if hop_table:
         sections.append(
@@ -242,11 +293,12 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit the tables as JSON instead of text"
     )
     args = parser.parse_args(argv)
-    rows = load_trace(args.trace)
+    rows = TraceFile(args.trace)  # streaming: multi-GB traces don't OOM
     if args.json:
         print(
             json.dumps(
                 {
+                    "meta": dropped_info(rows),
                     "hop_stages": hop_stage_table(rows),
                     "hop_kinds": hop_kind_table(rows),
                     "spans": span_summary_table(rows),
@@ -259,6 +311,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(format_trace_report(rows))
+    if rows.dropped:
+        print(
+            f"trace_report: {rows.dropped} records were evicted from the "
+            "tracer ring; aggregates are unreliable — raise --capacity and "
+            "re-record.",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

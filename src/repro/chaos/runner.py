@@ -138,12 +138,28 @@ def build_deployment(
     return deployment, workload
 
 
-def run_scenario(scenario: Scenario, tracer=None) -> ChaosResult:
-    """Run one scenario and evaluate its invariants."""
+def run_scenario(
+    scenario: Scenario, tracer=None, monitors: bool = False
+) -> ChaosResult:
+    """Run one scenario and evaluate its invariants.
+
+    With ``monitors=True`` the forensics monitor suite observes the run
+    *online* (stall watchdog, commit-prefix safety, equivocation evidence);
+    any ``safety`` anomaly fails an extra invariant check.  Attaching the
+    suite never schedules simulator events, so the run itself — and every
+    stat below — is bit-identical either way.
+    """
     tracer = ensure_tracer(tracer)
     deployment, _workload = build_deployment(scenario, tracer=tracer)
+    suite = None
+    if monitors:
+        from ..forensics.monitors import MonitorSuite
+
+        suite = MonitorSuite(tracer=tracer).attach(deployment)
     deployment.start()
     deployment.run(until=scenario.duration)
+    if suite is not None:
+        suite.finish()
 
     byzantine_ids = {node for node, _ in scenario.byzantine}
     down = scenario.permanently_down
@@ -227,6 +243,23 @@ def run_scenario(scenario: Scenario, tracer=None) -> ChaosResult:
             )
         )
 
+    # -- online monitors: zero safety anomalies, ever -----------------------
+    if suite is not None:
+        safety = suite.safety_anomalies
+        counts = suite.counts()
+        checks.append(
+            InvariantCheck(
+                "monitors.safety",
+                not safety,
+                (
+                    f"0 safety anomalies online (others: {counts or 'none'})"
+                    if not safety
+                    else f"{len(safety)} safety anomalies: "
+                    + ", ".join(sorted({a.name for a in safety}))
+                ),
+            )
+        )
+
     base = deployment.base_network
     stats: dict[str, Any] = {
         "min_ordered": min_ordered,
@@ -247,6 +280,9 @@ def run_scenario(scenario: Scenario, tracer=None) -> ChaosResult:
         stats["syncs_started"] = {
             i: deployment.nodes[i].sync.syncs_started for i in recovered
         }
+    if suite is not None:
+        stats["anomalies"] = suite.counts()
+        stats["flight_bundles"] = len(suite.recorder.bundles)
     if tracer.enabled:
         tracer.counter(
             "chaos.result",
@@ -257,5 +293,5 @@ def run_scenario(scenario: Scenario, tracer=None) -> ChaosResult:
     return ChaosResult(scenario=scenario, checks=tuple(checks), stats=stats)
 
 
-def run_scenarios(scenarios, tracer=None) -> list[ChaosResult]:
-    return [run_scenario(s, tracer=tracer) for s in scenarios]
+def run_scenarios(scenarios, tracer=None, monitors: bool = False) -> list[ChaosResult]:
+    return [run_scenario(s, tracer=tracer, monitors=monitors) for s in scenarios]

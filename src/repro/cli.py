@@ -179,6 +179,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(format_table(rows, f"{name} sweep ({len(rows)} points, jobs={jobs}, "
                                  f"{wall:.1f} s wall)"))
         print(f"wrote {path}")
+        if args.attribution:
+            from .bench.experiments import sweep_attribution
+
+            attribution = sweep_attribution(name)
+            attr_path = write_csv(
+                attribution, results_path(f"{name}_attribution.csv")
+            )
+            print(format_table(
+                attribution, f"{name} critical-path attribution"
+            ))
+            print(f"wrote {attr_path}")
         print()
     return 0
 
@@ -376,7 +387,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     tracer = Tracer(capacity=args.capacity) if args.out else None
     failed = 0
     for scenario in scenarios:
-        result = run_scenario(scenario, tracer=tracer)
+        result = run_scenario(scenario, tracer=tracer, monitors=args.monitors)
         status = "PASS" if result.ok else "FAIL"
         print(f"[{status}] {scenario.name} (seed {scenario.seed})")
         for check in result.checks:
@@ -395,6 +406,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"trace written to {args.out}")
     print(f"{len(scenarios) - failed}/{len(scenarios)} scenarios passed")
     return 1 if failed else 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from .forensics.report import main as forensics_main
+
+    argv = [args.trace]
+    if args.commit:
+        argv += ["--commit", args.commit]
+    if args.attribution:
+        argv.append("--attribution")
+    if args.anomalies:
+        argv.append("--anomalies")
+    if args.json:
+        argv.append("--json")
+    return forensics_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -477,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the content-addressed result cache (results/.cache/)",
     )
+    bench.add_argument(
+        "--attribution", action="store_true",
+        help="also write a critical-path attribution CSV for the sweep's "
+        "mid-load point (traced serial rerun; see docs/FORENSICS.md)",
+    )
     bench.set_defaults(fn=_cmd_bench)
 
     profile = sub.add_parser(
@@ -534,7 +565,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--out", default=None, help="write a JSONL trace here")
     chaos.add_argument("--capacity", type=int, default=1_000_000)
+    chaos.add_argument(
+        "--monitors",
+        action="store_true",
+        help="attach the online health monitors (stall watchdog, prefix "
+        "safety, equivocation evidence); any safety anomaly fails the run",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="per-commit critical-path attribution and anomaly report "
+        "from a JSONL trace (docs/FORENSICS.md)",
+    )
+    forensics.add_argument("trace", help="path to a trace.jsonl file")
+    forensics.add_argument(
+        "--commit", default=None, metavar="ID",
+        help="waterfall drill-down for one commit (digest prefix, "
+        "round:proposer, or txn id)",
+    )
+    forensics.add_argument(
+        "--attribution", action="store_true",
+        help="only the attribution sections",
+    )
+    forensics.add_argument(
+        "--anomalies", action="store_true", help="only the anomaly sections"
+    )
+    forensics.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    forensics.set_defaults(fn=_cmd_forensics)
     return parser
 
 

@@ -81,6 +81,10 @@ class SailfishNode:
         self.make_block = make_block
         self.on_ordered = on_ordered
         self.on_block_ready = on_block_ready
+        #: Hook invoked on every round entry: (node, round, time).  Used by
+        #: the forensics stall watchdog; never scheduled, so attaching it
+        #: cannot perturb the simulation.
+        self.on_round: Callable[["SailfishNode", Round, float], None] | None = None
         self.tracer = tracer if tracer is not None else network.tracer
         self._round_entered_at: float | None = None
 
@@ -155,6 +159,8 @@ class SailfishNode:
                 )
             self._round_entered_at = now
         self.round = round_
+        if self.on_round is not None:
+            self.on_round(self, round_, self.sim.now)
         if self.params.max_rounds and round_ > self.params.max_rounds:
             self._timer.cancel()
             return
@@ -350,6 +356,7 @@ class SailfishNode:
                 current = candidate
         now = self.sim.now
         ordered = 0
+        first_new = len(self.ordered_log)
         for leader_vertex in reversed(chain):
             newly = self.ordering.order_leader(leader_vertex)
             self.committed_leaders.append(leader_vertex)
@@ -363,6 +370,15 @@ class SailfishNode:
                 "consensus.commit", node=self.node_id, time=now,
                 anchor_round=anchor.round, depth=len(chain), ordered=ordered,
             )
+            # Per-block ordering events feed the forensics critical path:
+            # when did *this node* place each block into the total order?
+            for vertex, _ in self.ordered_log[first_new:]:
+                if vertex.block_digest is not None:
+                    self.tracer.counter(
+                        "consensus.ordered", node=self.node_id, time=now,
+                        round=vertex.round, source=vertex.source,
+                        digest=vertex.block_digest.hex(),
+                    )
         self.last_committed_round = anchor.round
         if self.params.gc_depth:
             # Retrieval/sync bookkeeping for rounds far behind the commit

@@ -139,6 +139,9 @@ class VertexRbc:
         )
         #: Accountability: transferable equivocation proofs from signed VALs.
         self.evidence = EvidencePool()
+        #: Forensics hook fired when a conflicting digest for an (origin,
+        #: round) instance is first observed: (origin, round, n_conflicting).
+        self.on_equivocation = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -256,6 +259,8 @@ class VertexRbc:
             self.on_first_val(vertex)
         elif state.first_digest != vdigest:
             state.conflicting.add(vdigest)
+            if self.on_equivocation is not None:
+                self.on_equivocation(origin, vertex.round, len(state.conflicting))
             return
         if msg.block is not None and state.block is None:
             block = msg.block
@@ -493,6 +498,8 @@ class VertexRbc:
             # Equivocating proposer: the quorum certified a different vertex
             # than the VAL we saw first; the certified one is authoritative.
             state.conflicting.add(state.vertex.vertex_digest())
+            if self.on_equivocation is not None:
+                self.on_equivocation(origin, round_, len(state.conflicting))
             state.vertex = vertex
         self._maybe_finish(origin, round_, state)
 

@@ -1,0 +1,81 @@
+"""Anomaly flight recorder: bounded per-node rings of recent protocol events.
+
+The monitor suite feeds every notable per-node event (round entries, ordered
+vertices, crashes, equivocations) into the recorder's rings.  When a monitor
+fires — or a node crashes — the recorder snapshots the implicated nodes'
+recent history into a **post-mortem bundle**: enough context to see what the
+node was doing in the moments before things went wrong, without retaining the
+full run.  Bundles are capped so a pathological run cannot OOM the process.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+
+class FlightRecorder:
+    """Per-node rings of ``(time, kind, detail)`` protocol events."""
+
+    def __init__(self, capacity: int = 256, max_bundles: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.max_bundles = max_bundles
+        self._rings: dict[int, deque[tuple[float, str, dict[str, Any]]]] = {}
+        #: Post-mortem bundles, in dump order.
+        self.bundles: list[dict[str, Any]] = []
+        #: Dumps suppressed because ``max_bundles`` was reached.
+        self.suppressed = 0
+
+    def note(self, node: int, time: float, kind: str, **detail: Any) -> None:
+        """Append one event to a node's ring (evicting the oldest)."""
+        ring = self._rings.get(node)
+        if ring is None:
+            ring = self._rings[node] = deque(maxlen=self.capacity)
+        ring.append((time, kind, detail))
+
+    def dump(
+        self,
+        reason: str,
+        now: float,
+        nodes: list[int] | None = None,
+        **context: Any,
+    ) -> dict[str, Any] | None:
+        """Snapshot recent history into a bundle; ``None`` when at the cap."""
+        if len(self.bundles) >= self.max_bundles:
+            self.suppressed += 1
+            return None
+        if nodes is None:
+            nodes = sorted(self._rings)
+        bundle = {
+            "reason": reason,
+            "time": now,
+            "context": context,
+            "events": {
+                node: [
+                    {"time": t, "kind": kind, **detail}
+                    for t, kind, detail in self._rings.get(node, ())
+                ]
+                for node in sorted(nodes)
+            },
+        }
+        self.bundles.append(bundle)
+        return bundle
+
+    def export(self, path: str) -> int:
+        """Write all bundles to ``path`` as a JSON document; returns count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "bundles": self.bundles,
+                    "suppressed": self.suppressed,
+                    "capacity": self.capacity,
+                },
+                fh,
+                indent=2,
+                default=str,
+            )
+            fh.write("\n")
+        return len(self.bundles)

@@ -286,7 +286,7 @@ class Network:
             copies = 1 if faults is None else faults.copies(src, dst, msg, now)
             if copies == 0:
                 stats.messages_dropped += 1
-                self._tracer.counter(
+                self._tracer.counter(  # repro: allow[OBS001] — traced dispatch only
                     "net.drop", node=src, dst=dst, kind=msg.kind(), size=size,
                 )
                 continue

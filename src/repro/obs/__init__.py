@@ -13,15 +13,19 @@ with tracing on and :mod:`repro.bench.trace_report` summarizes the result.
 """
 
 from .records import (
+    ANOMALY_CLASSES,
+    AnomalyRecord,
     CounterRecord,
     GaugeRecord,
     SpanRecord,
     TraceRecord,
     record_from_dict,
 )
-from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+from .tracer import NULL_TRACER, NullTracer, TraceFile, Tracer, ensure_tracer
 
 __all__ = [
+    "ANOMALY_CLASSES",
+    "AnomalyRecord",
     "CounterRecord",
     "GaugeRecord",
     "SpanRecord",
@@ -29,6 +33,7 @@ __all__ = [
     "record_from_dict",
     "NULL_TRACER",
     "NullTracer",
+    "TraceFile",
     "Tracer",
     "ensure_tracer",
 ]

@@ -1,16 +1,18 @@
 """Typed trace records and their JSONL wire format.
 
-Three record kinds cover the instrumentation needs of the stack:
+Four record kinds cover the instrumentation needs of the stack:
 
 * :class:`SpanRecord` — a named interval ``[start, end]`` in simulated time
   (an RBC phase, a consensus round, one network hop).
 * :class:`CounterRecord` — a named point event with a value (a commit, a
   client-observed latency sample).
 * :class:`GaugeRecord` — a named sampled level (queue depth, events/s).
+* :class:`AnomalyRecord` — a typed protocol-health finding from an online
+  monitor (stalled round, prefix divergence, equivocation evidence).
 
 Records serialize to one JSON object per line; ``attrs`` carries free-form
 per-record annotations (message kind, node ids, per-hop decomposition).  The
-schema is documented in ``docs/OBSERVABILITY.md``.
+schema is documented in ``docs/OBSERVABILITY.md`` and ``docs/FORENSICS.md``.
 """
 
 from __future__ import annotations
@@ -92,7 +94,39 @@ class GaugeRecord:
         }
 
 
-TraceRecord = Union[SpanRecord, CounterRecord, GaugeRecord]
+#: Anomaly classes, from most to least alarming.  ``safety`` anomalies mean a
+#: protocol invariant was violated (divergent commit prefixes, divergent clan
+#: execution); the chaos runner fails a scenario on any of them.  ``byzantine``
+#: marks collected evidence of faulty-node behaviour (equivocation, duplicate
+#: vertices) — expected under Byzantine scenarios.  ``liveness`` marks stalls
+#: and degraded quorum margins; ``info`` is advisory.
+ANOMALY_CLASSES = ("safety", "byzantine", "liveness", "info")
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyRecord:
+    """A protocol-health finding raised by an online monitor."""
+
+    TYPE: ClassVar[str] = "anomaly"
+
+    name: str
+    time: float
+    kind: str = "info"  # one of ANOMALY_CLASSES
+    node: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.TYPE,
+            "name": self.name,
+            "time": self.time,
+            "kind": self.kind,
+            "node": self.node,
+            "attrs": self.attrs,
+        }
+
+
+TraceRecord = Union[SpanRecord, CounterRecord, GaugeRecord, AnomalyRecord]
 
 _DECODERS = {
     "span": lambda d: SpanRecord(
@@ -113,6 +147,13 @@ _DECODERS = {
         name=d["name"],
         time=d["time"],
         value=d["value"],
+        node=d.get("node"),
+        attrs=d.get("attrs") or {},
+    ),
+    "anomaly": lambda d: AnomalyRecord(
+        name=d["name"],
+        time=d["time"],
+        kind=d.get("kind", "info"),
         node=d.get("node"),
         attrs=d.get("attrs") or {},
     ),

@@ -17,15 +17,21 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
 from .records import (
+    AnomalyRecord,
     CounterRecord,
     GaugeRecord,
     SpanRecord,
     TraceRecord,
     record_from_dict,
 )
+
+#: ``type`` of the optional JSONL header line carrying ring-buffer accounting
+#: (``emitted``/``dropped``/``capacity``).  Not a trace record: the typed
+#: readers skip it, the report layer uses it to warn about evictions.
+META_TYPE = "meta"
 
 
 class NullTracer:
@@ -62,6 +68,10 @@ class NullTracer:
 
     def end(self, name: str, key: Any = None, node: int | None = None,
             **attrs: Any) -> None:
+        pass
+
+    def anomaly(self, name: str, kind: str = "info", node: int | None = None,
+                time: float | None = None, **attrs: Any) -> None:
         pass
 
     def records(self) -> list[TraceRecord]:
@@ -157,6 +167,17 @@ class Tracer:
         if start is not None:
             self.span(name, start, node=node, **attrs)
 
+    def anomaly(self, name: str, kind: str = "info", node: int | None = None,
+                time: float | None = None, **attrs: Any) -> None:
+        """Record a protocol-health finding (see :data:`ANOMALY_CLASSES`)."""
+        self._emit(AnomalyRecord(
+            name=name,
+            time=self.now() if time is None else time,
+            kind=kind,
+            node=node,
+            attrs=attrs,
+        ))
+
     def _emit(self, record: TraceRecord) -> None:
         self._emitted += 1
         self._buffer.append(record)
@@ -190,13 +211,29 @@ class Tracer:
     # -- JSONL ---------------------------------------------------------------
 
     def write_jsonl(self, fh) -> int:
-        """Write all buffered records as JSON lines; returns record count."""
+        """Write buffered records as JSON lines; returns record count.
+
+        The first line is a ``type: "meta"`` header carrying ring-buffer
+        accounting so file-based reports can warn when evictions skewed the
+        aggregates.  Readers skip it; older traces without it still load.
+        """
+        fh.write(json.dumps(self.meta(), separators=(",", ":")))
+        fh.write("\n")
         count = 0
         for record in self._buffer:
             fh.write(json.dumps(record.to_dict(), separators=(",", ":")))
             fh.write("\n")
             count += 1
         return count
+
+    def meta(self) -> dict[str, Any]:
+        """The JSONL header object (ring-buffer accounting)."""
+        return {
+            "type": META_TYPE,
+            "emitted": self._emitted,
+            "dropped": self.dropped,
+            "capacity": self._buffer.maxlen,
+        }
 
     def export_jsonl(self, path: str) -> int:
         """Write the trace to ``path``; returns the number of records."""
@@ -205,25 +242,77 @@ class Tracer:
 
     @staticmethod
     def read_jsonl(path: str) -> list[TraceRecord]:
-        """Load a JSONL trace back into typed records."""
-        records: list[TraceRecord] = []
+        """Load a JSONL trace back into typed records (small files)."""
+        return list(Tracer.iter_jsonl(path))
+
+    @staticmethod
+    def iter_jsonl(path: str) -> "Iterator[TraceRecord]":
+        """Stream a JSONL trace as typed records in constant memory.
+
+        The generator skips the ``meta`` header line; use :class:`TraceFile`
+        when the header (dropped-record accounting) is needed too.
+        """
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
-                if line:
-                    records.append(record_from_dict(json.loads(line)))
-        return records
+                if not line:
+                    continue
+                data = json.loads(line)
+                if data.get("type") == META_TYPE:
+                    continue
+                yield record_from_dict(data)
 
     @staticmethod
     def read_jsonl_dicts(path: str) -> list[dict[str, Any]]:
-        """Load a JSONL trace as raw dicts (the report path)."""
+        """Load a JSONL trace as raw record dicts (small files, no meta)."""
         rows: list[dict[str, Any]] = []
         with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
-                if line:
-                    rows.append(json.loads(line))
+                if not line:
+                    continue
+                data = json.loads(line)
+                if data.get("type") != META_TYPE:
+                    rows.append(data)
         return rows
+
+
+class TraceFile:
+    """A re-iterable, constant-memory view of a JSONL trace file.
+
+    Each iteration re-opens the file and yields raw record dicts (the meta
+    header excluded), so report code can make several aggregation passes over
+    a multi-GB trace without ever materializing it.  :attr:`meta` exposes the
+    header (or ``None`` for traces written before the header existed).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.meta: dict[str, Any] | None = None
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                if data.get("type") == META_TYPE:
+                    self.meta = data
+                break
+
+    @property
+    def dropped(self) -> int:
+        return int(self.meta.get("dropped", 0)) if self.meta else 0
+
+    def __iter__(self) -> "Iterator[dict[str, Any]]":
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                if data.get("type") == META_TYPE:
+                    continue
+                yield data
 
 
 def iter_spans(records: Iterable[TraceRecord], name: str | None = None):

@@ -85,6 +85,8 @@ class Client:
                         time=now,
                         client=self.client_id,
                         clan=request.clan_idx,
+                        txn=txn_id,
+                        quorum=quorum,
                     )
                 return
 

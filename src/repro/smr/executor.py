@@ -16,6 +16,7 @@ from typing import Any, Callable
 from ..committees.config import ClanConfig
 from ..dag.block import Block
 from ..dag.vertex import Vertex
+from ..obs.tracer import NULL_TRACER
 from ..types import NodeId
 from .state_machine import KvStateMachine
 
@@ -32,10 +33,12 @@ class Executor:
         clan_cfg: ClanConfig,
         respond: ResponseFn | None = None,
         machine: object | None = None,
+        tracer=None,
     ) -> None:
         self.node_id = node_id
         self.cfg = clan_cfg
         self.respond = respond
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Any object exposing ``apply_txn(txn)`` and ``state_digest()``.
         self.machine = machine if machine is not None else KvStateMachine()
         self._my_clan = clan_cfg.clan_index_of(node_id)
@@ -46,6 +49,9 @@ class Executor:
         self.executed_blocks = 0
         self.executed_txns = 0
         self.skipped_vertices = 0
+        #: Forensics hook fired after each executed block:
+        #: (node_id, block, time).  Never scheduled — purely synchronous.
+        self.on_executed = None
 
     @property
     def executes_anything(self) -> bool:
@@ -80,14 +86,21 @@ class Executor:
 
     def _execute(self, block: Block, now: float) -> None:
         self.executed_blocks += 1
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "smr.execute", value=block.txn_count, node=self.node_id,
+                time=now, digest=block.payload_digest().hex(),
+            )
         if block.is_synthetic:
             self.executed_txns += block.txn_count
-            return
-        for txn in block.iter_txns():
-            result = self.machine.apply_txn(txn)
-            self.executed_txns += 1
-            if self.respond is not None:
-                self.respond(self.node_id, txn.txn_id, result, now)
+        else:
+            for txn in block.iter_txns():
+                result = self.machine.apply_txn(txn)
+                self.executed_txns += 1
+                if self.respond is not None:
+                    self.respond(self.node_id, txn.txn_id, result, now)
+        if self.on_executed is not None:
+            self.on_executed(self.node_id, block, now)
 
     @property
     def pending_blocks(self) -> int:

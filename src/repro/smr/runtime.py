@@ -66,7 +66,8 @@ class SmrRuntime:
 
                 machine = ShardedStateMachine()
             executor = Executor(
-                node.node_id, clan_cfg, respond=self._respond, machine=machine
+                node.node_id, clan_cfg, respond=self._respond, machine=machine,
+                tracer=self.tracer,
             )
             self.executors[node.node_id] = executor
             node.on_ordered = (
@@ -77,7 +78,16 @@ class SmrRuntime:
             )
 
     def _make_block(self, proposer: NodeId, round_: int, now: float):
-        return self.mempools[proposer].make_block(proposer, round_, now)
+        block = self.mempools[proposer].make_block(proposer, round_, now)
+        if block is not None and self.tracer.enabled:
+            # Block manifest: the txn → block mapping the forensics critical
+            # path hangs every later stage (ordering, execution, reply) off.
+            self.tracer.counter(
+                "smr.block", value=block.txn_count, node=proposer, time=now,
+                digest=block.payload_digest().hex(), round=round_,
+                txns=[txn.txn_id for txn in block.iter_txns()],
+            )
+        return block
 
     # -- clients -----------------------------------------------------------
 
@@ -96,6 +106,11 @@ class SmrRuntime:
             raise ExecutionError(f"clan {client.clan_idx} has no block proposers")
         proposer = clan[hash(txn.txn_id) % len(clan)]
         self.mempools[proposer].submit(txn)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "smr.submit", node=proposer, time=txn.created_at,
+                txn=txn.txn_id, clan=client.clan_idx,
+            )
         return txn
 
     def _respond(self, node_id: NodeId, txn_id: str, result, executed_at: float) -> None:

@@ -354,3 +354,84 @@ def test_sim001_none_check_is_clean():
         )
         == []
     )
+
+
+# -- OBS001: unguarded tracer emission in a loop ------------------------------
+
+
+def test_obs001_unguarded_counter_in_loop():
+    findings = run(
+        """\
+        def deliver(self, batch):
+            for msg in batch:
+                self.tracer.counter("net.msg", node=msg.dst, kind=msg.kind())
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("OBS001", "warning")]
+    assert findings[0].line == 3
+
+
+def test_obs001_guarded_loop_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def deliver(self, batch):
+                for msg in batch:
+                    if self.tracer.enabled:
+                        self.tracer.counter("net.msg", node=msg.dst)
+            """
+        )
+        == []
+    )
+
+
+def test_obs001_guard_hoisted_outside_loop_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def commit(self, chain, now):
+                if self.tracer.enabled:
+                    for vertex in chain:
+                        self.tracer.counter("ordered", round=vertex.round)
+            """
+        )
+        == []
+    )
+
+
+def test_obs001_flags_while_loops_and_local_aliases():
+    findings = run(
+        """\
+        def drain(queue, tracer):
+            while queue:
+                item = queue.pop()
+                tracer.gauge("queue.depth", value=len(queue))
+        """
+    )
+    assert [f.rule for f in findings] == ["OBS001"]
+
+
+def test_obs001_call_outside_loop_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def finish(self, now):
+                self.tracer.counter("run.done", time=now)
+            """
+        )
+        == []
+    )
+
+
+def test_obs001_non_tracer_receiver_is_clean():
+    # `.counter(...)` on something that isn't a tracer is not our business.
+    assert (
+        rule_ids(
+            """\
+            def tally(self, votes):
+                for vote in votes:
+                    self.metrics.counter(vote)
+            """
+        )
+        == []
+    )

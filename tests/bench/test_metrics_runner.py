@@ -139,3 +139,17 @@ def test_write_csv_roundtrip(tmp_path):
 def test_write_csv_empty_rejected(tmp_path):
     with pytest.raises(ValueError):
         write_csv([], str(tmp_path / "x.csv"))
+
+
+def test_sweep_attribution_rows():
+    from repro.bench.experiments import sweep_attribution
+
+    rows = sweep_attribution("fig5a")
+    protocols = {r["protocol"] for r in rows}
+    assert protocols == {"sailfish", "single-clan"}
+    for protocol in protocols:
+        segs = [r for r in rows if r["protocol"] == protocol]
+        assert [r["segment"] for r in segs] == ["dissemination", "ordering"]
+        assert all(r["samples"] > 0 for r in segs)
+        assert sum(r["share"] for r in segs) == pytest.approx(1.0, abs=0.01)
+        assert all(r["p99_ms"] >= r["p50_ms"] >= 0.0 for r in segs)

@@ -81,5 +81,31 @@ def test_report_main_round_trip(tmp_path, capsys):
 
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {
-        "hop_stages", "hop_kinds", "spans", "counters", "client_latency", "sim"
+        "meta", "hop_stages", "hop_kinds", "spans", "counters",
+        "client_latency", "sim",
     }
+    assert payload["meta"]["dropped"] == 0
+
+
+def test_report_main_fails_loudly_on_evictions(tmp_path, capsys):
+    t = Tracer(capacity=3)
+    for i in range(8):
+        t.counter("rbc.propose", node=0, time=float(i), round=i)
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    assert main([str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "WARNING" in captured.out
+    assert "--capacity" in captured.err
+
+
+def test_tables_stream_from_tracefile(tmp_path):
+    from repro.obs import TraceFile
+
+    t = make_trace()
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    trace = TraceFile(str(path))
+    # Two independent aggregation passes over the same streaming handle.
+    assert hop_stage_table(trace) == hop_stage_table(t.records())
+    assert counter_table(trace) == counter_table(t.records())

@@ -135,6 +135,19 @@ class TestRunner:
         assert not result.ok
         assert any(c.name == "liveness.commits" for c in result.failures)
 
+    def test_monitors_observe_without_perturbing(self):
+        scenario = replace(get_scenario("drop05"), duration=8.0, min_commits=10)
+        plain = run_scenario(scenario)
+        monitored = run_scenario(scenario, monitors=True)
+        assert monitored.ok
+        check = {c.name: c for c in monitored.checks}["monitors.safety"]
+        assert check.ok, check.detail
+        # Monitor-only stats aside, the run itself is identical.
+        extras = {"anomalies", "flight_bundles"}
+        core = {k: v for k, v in monitored.stats.items() if k not in extras}
+        assert core == plain.stats
+        assert monitored.stats["anomalies"].get("safety", 0) == 0
+
 
 class TestChaosCli:
     def test_list(self, capsys):
@@ -160,6 +173,16 @@ class TestChaosCli:
         path.write_text(dump_scenarios([scenario]))
         assert main(["chaos", "--file", str(path)]) == 0
         assert "[PASS] from-file" in capsys.readouterr().out
+
+    def test_monitors_flag(self, tmp_path, capsys):
+        scenario = replace(
+            get_scenario("drop05"), name="watched", duration=6.0, min_commits=5
+        )
+        path = tmp_path / "scenarios.json"
+        path.write_text(dump_scenarios([scenario]))
+        assert main(["chaos", "--file", str(path), "--monitors"]) == 0
+        out = capsys.readouterr().out
+        assert "monitors.safety: 0 safety anomalies online" in out
 
     def test_failure_exit_code(self, tmp_path, capsys):
         scenario = replace(

@@ -1,0 +1,56 @@
+"""Flight recorder: bounded rings, bundle caps, JSON export."""
+
+import json
+
+import pytest
+
+from repro.forensics.recorder import FlightRecorder
+
+
+def test_ring_evicts_oldest():
+    recorder = FlightRecorder(capacity=3)
+    for i in range(5):
+        recorder.note(0, float(i), "round", round=i)
+    bundle = recorder.dump("test", 5.0)
+    events = bundle["events"][0]
+    assert [e["round"] for e in events] == [2, 3, 4]  # oldest two evicted
+
+
+def test_dump_selects_nodes_and_carries_context():
+    recorder = FlightRecorder()
+    recorder.note(0, 1.0, "round", round=7)
+    recorder.note(1, 1.5, "crash")
+    bundle = recorder.dump("crash", 2.0, nodes=[1], node=1)
+    assert bundle["reason"] == "crash"
+    assert bundle["context"] == {"node": 1}
+    assert list(bundle["events"]) == [1]
+    # Without a node filter, every ring is included.
+    bundle_all = recorder.dump("sweep", 3.0)
+    assert sorted(bundle_all["events"]) == [0, 1]
+
+
+def test_bundle_cap_suppresses_overflow():
+    recorder = FlightRecorder(max_bundles=2)
+    assert recorder.dump("a", 1.0) is not None
+    assert recorder.dump("b", 2.0) is not None
+    assert recorder.dump("c", 3.0) is None
+    assert recorder.suppressed == 1
+    assert len(recorder.bundles) == 2
+
+
+def test_export_round_trips_as_json(tmp_path):
+    recorder = FlightRecorder()
+    recorder.note(0, 1.0, "round", round=3)
+    recorder.dump("anomaly", 2.0, kind="safety")
+    path = tmp_path / "flight.json"
+    assert recorder.export(str(path)) == 1
+    payload = json.loads(path.read_text())
+    assert payload["suppressed"] == 0
+    assert payload["bundles"][0]["reason"] == "anomaly"
+    # JSON object keys are strings; the ring events survive intact.
+    assert payload["bundles"][0]["events"]["0"][0]["round"] == 3
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)

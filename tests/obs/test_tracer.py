@@ -104,14 +104,19 @@ def test_jsonl_round_trip(tmp_path):
     path = tmp_path / "trace.jsonl"
     written = t.export_jsonl(str(path))
     assert written == 3
-    # Every line is standalone valid JSON.
+    # Every line is standalone valid JSON; the first is the meta header.
     lines = path.read_text().strip().splitlines()
-    assert len(lines) == 3
+    assert len(lines) == 4
     for line in lines:
         json.loads(line)
+    assert json.loads(lines[0]) == {
+        "type": "meta", "emitted": 3, "dropped": 0, "capacity": 1_000_000
+    }
     # Typed round-trip reproduces the original records exactly.
     loaded = Tracer.read_jsonl(str(path))
     assert loaded == t.records()
+    # Streaming reader yields the same records, lazily.
+    assert list(Tracer.iter_jsonl(str(path))) == t.records()
     # Raw-dict load matches to_dicts().
     assert Tracer.read_jsonl_dicts(str(path)) == t.to_dicts()
 
@@ -128,3 +133,53 @@ def test_iter_spans_filter():
     t.span("b", 1.0, 2.0)
     assert [s.name for s in iter_spans(t.records())] == ["a", "b"]
     assert [s.name for s in iter_spans(t.records(), "b")] == ["b"]
+
+
+def test_anomaly_record_round_trip(tmp_path):
+    from repro.obs import ANOMALY_CLASSES, AnomalyRecord
+
+    assert ANOMALY_CLASSES == ("safety", "byzantine", "liveness", "info")
+    t = Tracer()
+    t.anomaly(
+        "commit.prefix_divergence", kind="safety", node=3, time=1.5, position=7
+    )
+    t.anomaly("round.stall", kind="liveness", node=0, time=2.0)
+    (first, second) = t.records()
+    assert isinstance(first, AnomalyRecord)
+    assert first.kind == "safety" and first.attrs == {"position": 7}
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    assert Tracer.read_jsonl(str(path)) == [first, second]
+    # NullTracer accepts the same call as a no-op.
+    NULL_TRACER.anomaly("x", kind="safety")
+    assert NULL_TRACER.records() == []
+
+
+def test_tracefile_streams_and_exposes_meta(tmp_path):
+    from repro.obs import TraceFile
+
+    t = Tracer(capacity=2)
+    for i in range(5):
+        t.counter("tick", time=float(i))
+    path = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(path))
+    trace = TraceFile(str(path))
+    assert trace.meta["emitted"] == 5
+    assert trace.dropped == 3
+    # Re-iterable: two passes see the same record dicts, meta excluded.
+    assert [r["time"] for r in trace] == [3.0, 4.0]
+    assert [r["time"] for r in trace] == [3.0, 4.0]
+
+
+def test_tracefile_handles_headerless_traces(tmp_path):
+    path = tmp_path / "old.jsonl"
+    path.write_text(
+        '{"type":"counter","name":"x","time":0.5,"value":1.0,'
+        '"node":null,"attrs":{}}\n'
+    )
+    from repro.obs import TraceFile
+
+    trace = TraceFile(str(path))
+    assert trace.meta is None
+    assert trace.dropped == 0
+    assert [r["name"] for r in trace] == ["x"]

@@ -94,6 +94,26 @@ def test_trace_capacity_bounds_records(capsys):
     assert "1000 kept" in out
 
 
+def test_forensics_command_on_smr_trace(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    code, _ = run_cli(capsys, "trace", "smr_smoke", "--out", str(out_path))
+    assert code == 0
+    code, out = run_cli(capsys, "forensics", str(out_path))
+    assert code == 0
+    assert "Reconciliation: OK" in out
+    assert "Critical-path attribution" in out
+    code, out = run_cli(capsys, "forensics", str(out_path), "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["reconciliation"]["ok"] is True
+    commit = payload["slowest_commits"][0]["commit"]
+    code, out = run_cli(capsys, "forensics", str(out_path), "--commit", commit)
+    assert code == 0
+    assert "critical replica" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["nonsense"])
