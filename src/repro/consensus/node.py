@@ -137,6 +137,17 @@ class SailfishNode:
         #: from beyond the grave.
         self._crashed_local = False
         network.register(node_id, self._on_message)
+        # Fast-path dispatch: the raw Network (not the reliable-transport
+        # adapter, which must see every message to run its ack protocol)
+        # jumps straight to the per-type handler, skipping _on_message's
+        # isinstance chain.  Must cover exactly what _on_message handles.
+        set_dispatch = getattr(network, "set_dispatch", None)
+        if set_dispatch is not None:
+            table = self.rbc.dispatch_table()
+            table[NoVoteMsg] = self._on_no_vote
+            table[SyncRequestMsg] = self.sync.on_request
+            table[SyncResponseMsg] = self.sync.on_response
+            set_dispatch(node_id, table)
         if hasattr(network, "on_lifecycle"):
             network.on_lifecycle(node_id, self._on_crash, self._on_recover)
 
@@ -311,12 +322,18 @@ class SailfishNode:
         if prev < 1:
             return
         leader = self.schedule.leader(prev)
-        if any(ref.source == leader and ref.round == prev for ref in vertex.strong_edges):
-            voters = self.votes[prev]
-            if vertex.source not in voters:
-                voters.add(vertex.source)
-                if len(voters) >= self.cfg.quorum:
-                    self._try_commit(prev)
+        # Plain loop rather than any(<genexpr>): this runs for every vertex
+        # from every peer, and the generator frame is measurable there.
+        for ref in vertex.strong_edges:
+            if ref.source == leader and ref.round == prev:
+                break
+        else:
+            return
+        voters = self.votes[prev]
+        if vertex.source not in voters:
+            voters.add(vertex.source)
+            if len(voters) >= self.cfg.quorum:
+                self._try_commit(prev)
 
     def _on_vertex_delivered(self, vertex: Vertex) -> None:
         attached = self.store.add(vertex)

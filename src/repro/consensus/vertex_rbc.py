@@ -137,6 +137,14 @@ class VertexRbc:
         self._vertex_responder = Responder(
             node_id, network, self._lookup_vertex, channel="vertex"
         )
+        # ECHO/READY are the n²-per-round fan-out messages and their handlers
+        # retain only field values (signer sets, signatures, digests), never
+        # the message object — so both classes satisfy the arena's pooling
+        # contract.  CERT does not: _on_cert rebroadcasts the same object.
+        self._arena = getattr(network, "arena", None)
+        if self._arena is not None:
+            self._arena.register(VertexEchoMsg)
+            self._arena.register(VertexReadyMsg)
         #: Accountability: transferable equivocation proofs from signed VALs.
         self.evidence = EvidencePool()
         #: Forensics hook fired when a conflicting digest for an (origin,
@@ -158,6 +166,31 @@ class VertexRbc:
             if cfg.is_block_proposer(origin):
                 state.clan = cfg.clan(cfg.block_clan_of(origin))
         return state
+
+    def _make_echo(
+        self, origin: NodeId, round_: Round, digest_: bytes, signature
+    ) -> VertexEchoMsg:
+        arena = self._arena
+        if arena is not None:
+            msg = arena.acquire(VertexEchoMsg)
+            if msg is not None:
+                msg.origin = origin
+                msg.round = round_
+                msg.vertex_digest = digest_
+                msg.signature = signature
+                return msg
+        return VertexEchoMsg(origin, round_, digest_, signature)
+
+    def _make_ready(self, origin: NodeId, round_: Round, digest_: bytes) -> VertexReadyMsg:
+        arena = self._arena
+        if arena is not None:
+            msg = arena.acquire(VertexReadyMsg)
+            if msg is not None:
+                msg.origin = origin
+                msg.round = round_
+                msg.vertex_digest = digest_
+                return msg
+        return VertexReadyMsg(origin, round_, digest_)
 
     def _serves_block(self, origin: NodeId, round_: Round) -> bool:
         """Is this node in the proposer's clan (receives/executes its blocks)?"""
@@ -216,14 +249,35 @@ class VertexRbc:
         elif isinstance(msg, VertexReadyMsg):
             self._on_ready(src, msg)
         elif isinstance(msg, PayloadRequest):
-            self._block_responder.on_request(src, msg)
-            self._vertex_responder.on_request(src, msg)
+            self._on_payload_request(src, msg)
         elif isinstance(msg, PayloadResponse):
-            self._block_retriever.on_response(src, msg)
-            self._vertex_retriever.on_response(src, msg)
+            self._on_payload_response(src, msg)
         else:
             return False
         return True
+
+    def _on_payload_request(self, src: NodeId, msg: PayloadRequest) -> None:
+        self._block_responder.on_request(src, msg)
+        self._vertex_responder.on_request(src, msg)
+
+    def _on_payload_response(self, src: NodeId, msg: PayloadResponse) -> None:
+        self._block_retriever.on_response(src, msg)
+        self._vertex_retriever.on_response(src, msg)
+
+    def dispatch_table(self) -> dict:
+        """Exact-class handler table for :meth:`Network.set_dispatch`.
+
+        Covers the same vocabulary as :meth:`on_message`; the owning node
+        extends it with its own message types before installing it.
+        """
+        return {
+            VertexEchoMsg: self._on_echo,
+            VertexCertMsg: self._on_cert,
+            VertexValMsg: self._on_val,
+            VertexReadyMsg: self._on_ready,
+            PayloadRequest: self._on_payload_request,
+            PayloadResponse: self._on_payload_response,
+        }
 
     def _on_val(self, src: NodeId, msg: VertexValMsg) -> None:
         vertex = msg.vertex
@@ -297,7 +351,7 @@ class VertexRbc:
         if self.mode == "two-round":
             signature = self._key.sign(vertex_echo_statement(origin, round_, vdigest))
         self.network.broadcast(
-            self.node_id, VertexEchoMsg(origin, round_, vdigest, signature)
+            self.node_id, self._make_echo(origin, round_, vdigest, signature)
         )
 
     def _on_echo(self, src: NodeId, msg: VertexEchoMsg) -> None:
@@ -310,7 +364,11 @@ class VertexRbc:
                     return
                 if not self.pki.verify(msg.signature):
                     return
-        state = self.instance(msg.origin, msg.round)
+        # Inlined instance() hit path: ECHOes are the n²-per-round traffic,
+        # and after the first one the instance always exists.
+        state = self.instances.get((msg.origin, msg.round))
+        if state is None:
+            state = self.instance(msg.origin, msg.round)
         supporters = state.echoes.setdefault(msg.vertex_digest, set())
         if src in supporters:
             return
@@ -356,14 +414,16 @@ class VertexRbc:
             if state.ready_digest is None:
                 state.ready_digest = digest_
                 self.network.broadcast(
-                    self.node_id, VertexReadyMsg(origin, round_, digest_)
+                    self.node_id, self._make_ready(origin, round_, digest_)
                 )
             # §5 optimization: clan members can start the block download at
             # ECHO-quorum time, before the READY quorum completes.
             self._prefetch_block(origin, round_, digest_, state)
 
     def _on_cert(self, src: NodeId, msg: VertexCertMsg) -> None:
-        state = self.instance(msg.origin, msg.round)
+        state = self.instances.get((msg.origin, msg.round))
+        if state is None:
+            state = self.instance(msg.origin, msg.round)
         if state.quorum_digest is not None:
             return
         if self.verify:
@@ -393,7 +453,8 @@ class VertexRbc:
         if count >= self._amplify and state.ready_digest is None:
             state.ready_digest = msg.vertex_digest
             self.network.broadcast(
-                self.node_id, VertexReadyMsg(msg.origin, msg.round, msg.vertex_digest)
+                self.node_id,
+                self._make_ready(msg.origin, msg.round, msg.vertex_digest),
             )
         if count >= self._quorum:
             self._complete(msg.origin, msg.round, msg.vertex_digest, state)

@@ -70,15 +70,29 @@ class DagStore:
         return attached
 
     def _parents_present(self, vertex: Vertex) -> bool:
-        return all(ref.key in self._vertices for ref in vertex.parents())
+        # Hot path (checked per buffered vertex per attach): iterate the edge
+        # tuples directly instead of materializing vertex.parents() and one
+        # ref.key tuple per edge through the property.
+        vertices = self._vertices
+        for ref in vertex.strong_edges:
+            if (ref.round, ref.source) not in vertices:
+                return False
+        for ref in vertex.weak_edges:
+            if (ref.round, ref.source) not in vertices:
+                return False
+        return True
 
     def _attach(self, vertex: Vertex) -> None:
         key = vertex.key
         self._vertices[key] = vertex
         self._by_round[vertex.round][vertex.source] = vertex
-        self._uncovered[key] = vertex
-        for ref in vertex.parents():
-            self._uncovered.pop(ref.key, None)
+        uncovered = self._uncovered
+        uncovered[key] = vertex
+        pop = uncovered.pop
+        for ref in vertex.strong_edges:
+            pop((ref.round, ref.source), None)
+        for ref in vertex.weak_edges:
+            pop((ref.round, ref.source), None)
 
     # -- lookups ---------------------------------------------------------------
 

@@ -65,6 +65,20 @@ class LatencyModel(ABC):
         """
         return None
 
+    def jitter_params(self, n: int) -> tuple | None:
+        """Hot-path spec for jittered models, or None to use :meth:`delay`.
+
+        Returns ``("add", base, jitter, draw)`` when the delay is
+        ``base + draw() * jitter`` (draw = the model's RNG ``random`` bound
+        method), or ``("mul", rows, jitter, draw)`` when it is
+        ``rows[src][dst] * (1.0 + draw() * jitter)``.  The network inlines
+        the exact same floating-point expression per destination, so runs
+        are bit-identical to calling :meth:`delay` — including the RNG draw
+        order (exactly one draw per delivery, in destination order).  Models
+        with other formulas return None and keep the per-message call.
+        """
+        return None
+
     def mean_delay(self, n: int) -> float:
         """Mean one-way delay over all ordered pairs (used by the analytical
         model); subclasses may override with a cheaper computation."""
@@ -100,6 +114,11 @@ class UniformLatencyModel(LatencyModel):
             return None
         return [[self._base] * n for _ in range(n)]
 
+    def jitter_params(self, n: int) -> tuple | None:
+        if self._jitter == 0.0:
+            return None
+        return ("add", self._base, self._jitter, self._rng.random)
+
     def mean_delay(self, n: int) -> float:
         return self._base + self._jitter / 2.0
 
@@ -134,6 +153,10 @@ class GeoLatencyModel(LatencyModel):
                     rtt = rtts[(src_region, dst_region)]
                 except KeyError as exc:
                     raise ConfigError(f"no RTT entry for {src_region}->{dst_region}") from exc
+                if rtt < 0:
+                    raise ConfigError(
+                        f"negative RTT for {src_region}->{dst_region}: {rtt}"
+                    )
                 row.append(rtt / 2.0 / 1000.0)
             self._base.append(row)
         self._mean = None
@@ -152,6 +175,11 @@ class GeoLatencyModel(LatencyModel):
         if self._jitter != 0.0:
             return None
         return [row[:n] for row in self._base[:n]]
+
+    def jitter_params(self, n: int) -> tuple | None:
+        if self._jitter == 0.0:
+            return None
+        return ("mul", [row[:n] for row in self._base[:n]], self._jitter, self._rng.random)
 
     def mean_delay(self, n: int | None = None) -> float:
         n = len(self._regions) if n is None else n

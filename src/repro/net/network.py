@@ -15,6 +15,7 @@ for ``(n-1)·ℓ/B`` seconds, whereas a clan proposer holds it for only
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import Callable, Iterable
 
@@ -27,7 +28,7 @@ from .adversary import DelayAdversary
 from .cpu import CpuModel
 from .faults import LinkFault
 from .latency import LatencyModel, UniformLatencyModel
-from .message import Message
+from .message import Message, MessageArena
 
 Handler = Callable[[NodeId, Message], None]
 
@@ -90,6 +91,16 @@ class Network:
         # Jitter-free latency models expose a constant per-link delay table;
         # precomputing it removes a method call per (message, destination).
         self._latency_table = self.latency.constant_delays(n)
+        if self._latency_table is not None and any(
+            d < 0 for row in self._latency_table for d in row
+        ):
+            raise NetworkError("latency model produced a negative constant delay")
+        # Jittered built-in models expose their exact delay expression so the
+        # transmit loop can inline it (one RNG draw per delivery, identical
+        # float math — see LatencyModel.jitter_params).
+        self._jitter_params = (
+            None if self._latency_table is not None else self.latency.jitter_params(n)
+        )
         # Convert bits/s to bytes/s once; None means infinite bandwidth.
         self._bytes_per_sec = bandwidth_bps / 8.0 if bandwidth_bps else None
         self.adversary = adversary if adversary is not None else DelayAdversary()
@@ -111,6 +122,43 @@ class Network:
         # send, re-checks at delivery.  None (the default) costs one None
         # check per transmit/handle.
         self._freeze = _sanitizers.FreezeGuard() if _sanitizers.enabled() else None
+        #: Per-node {message class: handler} tables (see :meth:`set_dispatch`).
+        self._dispatch: list[dict | None] = [None] * n
+        # Deliveries can skip the CPU-queue/tracing/sanitizer layers entirely
+        # when none of them is configured: _deliver_fast fuses _deliver and
+        # _handle into one callback frame.
+        self._plain = cpu is None and self._freeze is None
+        # Delivery events can be appended straight into the simulator's
+        # calendar buckets — skipping the `post` call per delivery — when the
+        # arrival time is provably never in the past (built-in non-negative
+        # latency models, no adversarial extra delay) and the tie-order
+        # auditor doesn't need to observe insertions.
+        self._inline = (
+            self._null_adversary
+            and sim.tie_audit is None
+            and (self._latency_table is not None or self._jitter_params is not None)
+        )
+        # Message arena: only when the arrival-time upper bound per transmit
+        # is computable (built-in latency models, no adversarial delay) and
+        # nothing observes message identity across deliveries (no freeze
+        # sanitizer, no CPU-queue requeue).  `_retire` is a min-heap of
+        # (retire_at, seq, msg): once sim time passes retire_at, every copy
+        # of msg has been delivered and the object returns to the pool.
+        self.arena: MessageArena | None = None
+        self._retire: list | None = None
+        self._retire_seq = 0
+        self._max_delay: list[float] | None = None
+        if self._plain and self._inline:
+            if self._latency_table is not None:
+                self._max_delay = [max(row) + 1e-9 for row in self._latency_table]
+            else:
+                jmode, jdata, jit, _ = self._jitter_params
+                if jmode == "mul":
+                    self._max_delay = [max(row) * (1.0 + jit) + 1e-9 for row in jdata]
+                else:
+                    self._max_delay = [jdata + jit + 1e-9] * n
+            self.arena = MessageArena()
+            self._retire = []
 
     @property
     def freeze_guard(self):
@@ -122,6 +170,23 @@ class Network:
         if not 0 <= node_id < self.n:
             raise NetworkError(f"node id {node_id} out of range (n={self.n})")
         self._handlers[node_id] = handler
+        # A new handler invalidates any fast-dispatch table installed for the
+        # old one; set_dispatch must be called after register.
+        self._dispatch[node_id] = None
+
+    def set_dispatch(self, node_id: NodeId, table: dict[type, Handler]) -> None:
+        """Install a per-message-class fast dispatch table for ``node_id``.
+
+        Optional: nodes that know their full message vocabulary map each
+        concrete message class to its handler so the hot delivery path jumps
+        straight there, skipping the catch-all handler's isinstance chain.
+        Keys are exact classes (no subclass matching); messages of any other
+        type fall back to the handler from :meth:`register`.  Call after
+        :meth:`register` — re-registering clears the table.
+        """
+        if not 0 <= node_id < self.n:
+            raise NetworkError(f"node id {node_id} out of range (n={self.n})")
+        self._dispatch[node_id] = dict(table)
 
     def on_lifecycle(
         self,
@@ -192,6 +257,14 @@ class Network:
         self._transmit(src, range(self.n), msg)
 
     def _transmit(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
+        # The benchmark-critical loop of the whole simulator: every
+        # broadcast/multicast lands here, and every iteration schedules one
+        # delivery event.  Three layers are flattened away when possible:
+        # per-destination stats increments are batched into one update at the
+        # end, the latency model's delay expression is inlined (identical
+        # float math and RNG draw order — see LatencyModel.jitter_params),
+        # and delivery events are appended directly into the simulator's
+        # calendar buckets instead of going through `sim.post`.
         if self._crashed[src]:
             return
         if self._freeze is not None:
@@ -200,53 +273,130 @@ class Network:
             self._transmit_traced(src, dsts, msg)
             return
         sim = self.sim
-        post = sim.post
-        deliver = self._deliver
         now = sim.now
+        retire = self._retire
+        if retire and retire[0][0] < now:
+            # Every copy of these messages has an arrival bound strictly in
+            # the past: all deliveries ran, the objects are free to reuse.
+            release = self.arena.release
+            pop = heapq.heappop
+            while retire and retire[0][0] < now:
+                release(pop(retire)[2])
         size = msg.wire_size_cached()
         stats = self.stats
-        bytes_sent = stats.bytes_sent
-        messages_sent = stats.messages_sent
-        track_kinds = self._track_kinds
-        if track_kinds:
-            kind = msg.kind()
         per_byte = self._bytes_per_sec
         faults = self.faults
         n = self.n
-        base_row = self._latency_table[src] if self._latency_table is not None else None
+        crow = self._latency_table[src] if self._latency_table is not None else None
+        jrow = jadd = None
+        if self._jitter_params is not None:
+            jmode, jdata, jit, rand = self._jitter_params
+            if jmode == "mul":
+                jrow = jdata[src]
+            else:
+                jadd = jdata
         delay = self.latency.delay
-        extra_delay = None if self._null_adversary else self.adversary.extra_delay
+        deliver = self._deliver_fast if self._plain else self._deliver
+        inline = self._inline
+        if inline:
+            buckets = sim._buckets
+            times = sim._times
+            push = heapq.heappush
+        else:
+            post = sim.post
+            extra_delay = None if self._null_adversary else self.adversary.extra_delay
         nic_free = self._nic_free_at[src]
         clock = now if now > nic_free else nic_free
+        count = 0
         for dst in dsts:
-            if not 0 <= dst < n:
-                raise NetworkError(f"destination {dst} out of range (n={n})")
-            bytes_sent[src] += size
-            messages_sent[src] += 1
-            if track_kinds:
-                stats.bytes_by_kind[kind] += size
-                stats.messages_by_kind[kind] += 1
             if dst == src:
                 # Loopback: no NIC or propagation cost (and no wire faults),
                 # but still event-driven so ordering semantics match remote
                 # deliveries.
-                post(now, deliver, (src, dst, msg, size))
+                count += 1
+                payload = (src, dst, msg, size)
+                if inline:
+                    bucket = buckets.get(now)
+                    if bucket is None:
+                        buckets[now] = [(deliver, payload)]
+                        push(times, now)
+                    else:
+                        bucket.append((deliver, payload))
+                else:
+                    post(now, deliver, payload)
                 continue
+            if dst < 0 or dst >= n:
+                raise NetworkError(f"destination {dst} out of range (n={n})")
+            count += 1
             if per_byte is not None:
                 # The NIC serializes the copy whether or not the wire then
                 # loses it — loss happens in the network, not at the sender.
                 clock += size / per_byte
-            copies = 1 if faults is None else faults.copies(src, dst, msg, now)
-            if copies == 0:
-                stats.messages_dropped += 1
+            if faults is not None:
+                copies = faults.copies(src, dst, msg, now)
+                if copies == 0:
+                    stats.messages_dropped += 1
+                    continue
+                if copies > 1:
+                    stats.messages_duplicated += copies - 1
+                for _ in range(copies):
+                    if crow is not None:
+                        arrive = clock + crow[dst]
+                    elif jrow is not None:
+                        arrive = clock + jrow[dst] * (1.0 + rand() * jit)
+                    elif jadd is not None:
+                        arrive = clock + jadd + rand() * jit
+                    else:
+                        arrive = clock + delay(src, dst)
+                    payload = (src, dst, msg, size)
+                    if inline:
+                        bucket = buckets.get(arrive)
+                        if bucket is None:
+                            buckets[arrive] = [(deliver, payload)]
+                            push(times, arrive)
+                        else:
+                            bucket.append((deliver, payload))
+                    else:
+                        if extra_delay is not None:
+                            arrive += extra_delay(src, dst, msg, now)
+                        post(arrive, deliver, payload)
                 continue
-            if copies > 1:
-                stats.messages_duplicated += copies - 1
-            for _ in range(copies):
-                arrive = clock + (base_row[dst] if base_row is not None else delay(src, dst))
+            # Fault-free single copy: the common case, kept branch-light.
+            if crow is not None:
+                arrive = clock + crow[dst]
+            elif jrow is not None:
+                arrive = clock + jrow[dst] * (1.0 + rand() * jit)
+            elif jadd is not None:
+                arrive = clock + jadd + rand() * jit
+            else:
+                arrive = clock + delay(src, dst)
+            payload = (src, dst, msg, size)
+            if inline:
+                bucket = buckets.get(arrive)
+                if bucket is None:
+                    buckets[arrive] = [(deliver, payload)]
+                    push(times, arrive)
+                else:
+                    bucket.append((deliver, payload))
+            else:
                 if extra_delay is not None:
                     arrive += extra_delay(src, dst, msg, now)
-                post(arrive, deliver, (src, dst, msg, size))
+                post(arrive, deliver, payload)
+        if count:
+            stats.bytes_sent[src] += size * count
+            stats.messages_sent[src] += count
+            if self._track_kinds:
+                kind = msg.kind()
+                stats.bytes_by_kind[kind] += size * count
+                stats.messages_by_kind[kind] += count
+            if retire is not None and msg.__class__ in self.arena.pools:
+                # Last copy leaves the NIC at `clock`; the slowest link adds
+                # at most _max_delay[src].  Past that instant the object is
+                # unreachable from the event queue.
+                self._retire_seq += 1
+                heapq.heappush(
+                    retire, (clock + self._max_delay[src], self._retire_seq, msg)
+                )
         self._nic_free_at[src] = clock
 
     def _transmit_traced(self, src: NodeId, dsts: Iterable[NodeId], msg: Message) -> None:
@@ -300,6 +450,32 @@ class Network:
                     arrive, self._deliver, (src, dst, msg, size, (now, nic_wait, tx, prop))
                 )
         self._nic_free_at[src] = clock
+
+    def _deliver_fast(self, src: NodeId, dst: NodeId, msg: Message, size: int) -> None:
+        """Fused :meth:`_deliver` + :meth:`_handle` for the plain path.
+
+        Used when no CPU model, no freeze sanitizer, and no tracer can
+        intervene between arrival and handling — one callback frame per
+        delivery instead of two.  Nodes that installed a dispatch table
+        (:meth:`set_dispatch`) additionally skip their catch-all handler's
+        isinstance chain.  Semantics match the slow pair exactly: crashed
+        destinations drop silently, and a node with no handler receives
+        nothing (no stats recorded).
+        """
+        if self._crashed[dst]:
+            return
+        table = self._dispatch[dst]
+        if table is not None:
+            fn = table.get(msg.__class__)
+            if fn is not None:
+                self.stats.bytes_received[dst] += size
+                fn(src, msg)
+                return
+        handler = self._handlers[dst]
+        if handler is None:
+            return
+        self.stats.bytes_received[dst] += size
+        handler(src, msg)
 
     def _deliver(
         self, src: NodeId, dst: NodeId, msg: Message, size: int, meta: tuple | None = None

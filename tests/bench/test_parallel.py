@@ -9,13 +9,19 @@ import pytest
 
 from repro.bench import parallel
 from repro.bench.parallel import (
+    GridPointError,
+    ParallelGridError,
     ResultCache,
     clear_memory_cache,
+    get_pool,
     metrics_from_dict,
     metrics_to_dict,
+    resolve_jobs,
     run_grid,
     run_tasks,
+    shutdown_pool,
 )
+from repro.errors import ConfigError
 from repro.bench.reporting import write_csv
 from repro.bench.runner import ExperimentConfig, run_experiment
 from repro.chaos import SCENARIOS, run_scenario
@@ -43,6 +49,18 @@ def _fresh_memory():
     clear_memory_cache()
     yield
     clear_memory_cache()
+
+
+@pytest.fixture
+def fresh_pool():
+    """Force the next fan-out to fork a new pool, and clean it up after.
+
+    Needed when a test monkeypatches module state the workers must inherit —
+    a pool forked before the patch would still run the original code.
+    """
+    shutdown_pool()
+    yield
+    shutdown_pool()
 
 
 def _rows(metrics_list):
@@ -94,9 +112,135 @@ class TestParallelDeterminism:
         assert serial == fanned
         assert all(ok for _name, ok, _stats in serial)
 
+    def test_csv_bytes_identical_serial_vs_jobs2_vs_jobs8(self, tmp_path, capsys):
+        """The full determinism contract: serial, --jobs 2, and --jobs 8 runs
+        of a grid that includes a chaos point must write identical CSV bytes.
+
+        jobs=8 may clamp on small machines (with a warning) — the output
+        contract holds at any effective pool size.
+        """
+        blobs = []
+        for jobs in (1, 2, 8):
+            clear_memory_cache()
+            metrics = run_grid(GRID, jobs=jobs, cache=False)
+            path = write_csv(_rows(metrics), str(tmp_path / f"jobs{jobs}.csv"))
+            with open(path, "rb") as fh:
+                blobs.append(fh.read())
+        assert blobs[0] == blobs[1] == blobs[2]
+
+
+class TestWorkerPool:
+    def test_pool_persists_across_grids(self, fresh_pool):
+        grid_a = [GRID[0], GRID[1]]
+        grid_b = [GRID[1], GRID[2]]
+        clear_memory_cache()
+        first = run_grid(grid_a, jobs=2, cache=False)
+        pool = get_pool(2)
+        clear_memory_cache()
+        second = run_grid(grid_b, jobs=2, cache=False)
+        assert get_pool(2) is pool  # same forked workers, reused
+        clear_memory_cache()
+        assert run_grid(grid_a, jobs=1, cache=False) == first
+        clear_memory_cache()
+        assert run_grid(grid_b, jobs=1, cache=False) == second
+
+    def test_worker_crash_records_per_point_error(self, fresh_pool, monkeypatch):
+        """A point that kills its worker twice gets an error record; the rest
+        of the grid completes with correct results."""
+        real = parallel._simulate
+
+        def lethal(config, max_events=None, tracer=None):
+            if config.seed == 99:
+                os._exit(17)  # hard worker death, not an exception
+            return real(config, max_events=max_events, tracer=tracer)
+
+        monkeypatch.setattr(parallel, "_simulate", lethal)
+        poison = ExperimentConfig(
+            protocol="sailfish", n=7, txns_per_proposal=50, duration=2.0,
+            warmup=0.5, seed=99,
+        )
+        grid = [GRID[0], poison, GRID[1]]
+        results = run_grid(grid, jobs=2, cache=False, on_error="record")
+        assert isinstance(results[1], GridPointError)
+        assert results[1].index == 1
+        assert "died" in results[1].error and "17" in results[1].error
+        monkeypatch.setattr(parallel, "_simulate", real)
+        shutdown_pool()
+        clear_memory_cache()
+        clean = run_grid([GRID[0], GRID[1]], jobs=1, cache=False)
+        assert [results[0], results[2]] == clean
+
+    def test_worker_crash_raises_after_completion_by_default(
+        self, fresh_pool, monkeypatch
+    ):
+        real = parallel._simulate
+
+        def lethal(config, max_events=None, tracer=None):
+            if config.seed == 99:
+                os._exit(17)
+            return real(config, max_events=max_events, tracer=tracer)
+
+        monkeypatch.setattr(parallel, "_simulate", lethal)
+        poison = ExperimentConfig(
+            protocol="sailfish", n=7, txns_per_proposal=50, duration=2.0,
+            warmup=0.5, seed=99,
+        )
+        with pytest.raises(ParallelGridError) as excinfo:
+            run_grid([GRID[0], poison], jobs=2, cache=False)
+        err = excinfo.value
+        assert len(err.records) == 1 and err.records[0].index == 1
+        assert err.results[0] is not None  # the healthy point still completed
+
+    def test_task_exception_reported_not_retried(self, fresh_pool):
+        with pytest.raises(ParallelGridError) as excinfo:
+            run_tasks([(_task_value, (1,)), (_task_raises, ())], jobs=2)
+        assert "ValueError" in excinfo.value.records[0].error
+        assert excinfo.value.results[0] == 1
+
+
+class TestJobsResolution:
+    def test_rejects_zero_and_negative(self):
+        for bad in (0, -1, "-4", "0"):
+            with pytest.raises(ConfigError):
+                resolve_jobs(bad)
+
+    def test_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_env_zero_is_rejected_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_unset_and_empty_mean_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert resolve_jobs(None) == 1
+
+    def test_auto_is_cpu_count(self, monkeypatch):
+        assert resolve_jobs("auto") == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_oversized_clamps_with_warning(self, capsys):
+        ceiling = (os.cpu_count() or 1) * parallel.JOBS_CEILING_FACTOR
+        assert resolve_jobs(ceiling + 100) == ceiling
+        assert "clamping" in capsys.readouterr().err
+
+    def test_plain_integers_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs("2") == 2
+
 
 def _task_value(i: int) -> int:
     return i
+
+
+def _task_raises() -> None:
+    raise ValueError("deliberate task failure")
 
 
 def _scenario_outcome(name: str):

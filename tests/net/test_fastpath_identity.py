@@ -1,0 +1,76 @@
+"""The network/scheduler fast paths must be pure optimizations.
+
+The hot delivery pipeline has four layered shortcuts — fused delivery
+(``_deliver_fast``), per-class dispatch tables, inline calendar-bucket
+insertion, and the message arena — each gated by eligibility flags computed
+in ``Network.__init__``.  These tests force every shortcut OFF and assert the
+resulting :class:`RunMetrics` are **bit-identical** to the default run: the
+fast paths may change how events are scheduled and objects allocated, never
+what the simulation computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+import repro.net.network as netmod
+from repro.bench.runner import ExperimentConfig, _simulate
+
+#: Jittered geo latency (RNG draw per delivery), plus a lossy/duplicating
+#: point so the fault-copies branch is exercised on both paths.
+CONFIGS = [
+    ExperimentConfig(
+        protocol="sailfish", n=7, txns_per_proposal=50, duration=1.5,
+        warmup=0.5, seed=11,
+    ),
+    ExperimentConfig(
+        protocol="single-clan", n=8, clan_size=4, txns_per_proposal=50,
+        duration=1.5, warmup=0.5, seed=12, drop_rate=0.05,
+        duplicate_rate=0.02, reliable=True,
+    ),
+]
+
+
+def test_fast_vs_slow_metrics_identical():
+    """Explicit A/B: default (fast) run vs all-shortcuts-off run."""
+    for config in CONFIGS:
+        fast = asdict(_simulate(config))
+        real_init = netmod.Network.__init__
+
+        def no_fastpath_init(self, *args, _real=real_init, **kwargs):
+            _real(self, *args, **kwargs)
+            self._plain = False
+            self._inline = False
+            self.arena = None
+            self._retire = None
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(netmod.Network, "__init__", no_fastpath_init)
+            slow = asdict(_simulate(config))
+        assert fast == slow, f"fast-path divergence for {config.protocol}"
+
+
+def test_arena_disabled_under_sanitizers(monkeypatch):
+    """REPRO_SANITIZE installs the freeze guard, which keys on message
+    identity — pooling must switch off."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from repro.sim.scheduler import Simulator
+
+    sim = Simulator()
+    net = netmod.Network(sim, 4)
+    assert net.freeze_guard is not None
+    assert net.arena is None
+
+
+def test_arena_active_on_plain_runs():
+    from repro.sim.scheduler import Simulator
+
+    sim = Simulator()
+    net = netmod.Network(sim, 4)
+    if net.freeze_guard is not None:  # suite running under REPRO_SANITIZE=1
+        assert net.arena is None
+        return
+    assert net.arena is not None
+    assert net._max_delay is not None and len(net._max_delay) == 4
