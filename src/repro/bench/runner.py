@@ -39,6 +39,10 @@ class ExperimentConfig:
             points stay plain configs, so they shard and cache like any other.
         reliable: run over the retransmitting reliable transport (required
             for liveness whenever ``drop_rate`` > 0).
+        rbc_mode: RBC variant for vertex dissemination (see
+            :class:`~repro.consensus.params.ProtocolParams`); lets sweeps
+            compare the optimistic fast path and the certified-prefix rule
+            against the signed two-round baseline.
     """
 
     protocol: str
@@ -57,6 +61,7 @@ class ExperimentConfig:
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
     reliable: bool = False
+    rbc_mode: str = "two-round"
 
     def clan_config(self) -> ClanConfig:
         if self.protocol == "sailfish":
@@ -112,6 +117,7 @@ def _simulate(
     """The uncached simulation path behind :func:`run_experiment`."""
     workload = SyntheticWorkload(txns_per_proposal=config.txns_per_proposal)
     params = ProtocolParams(
+        rbc_mode=config.rbc_mode,
         verify_signatures=False,
         leader_timeout=config.leader_timeout,
     )

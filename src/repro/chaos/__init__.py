@@ -8,7 +8,13 @@ is the CLI front end; :data:`repro.chaos.library.SMOKE_SCENARIOS` is the CI
 gate.  See ``docs/FAULTS.md``.
 """
 
-from .library import ALL_SCENARIOS, SCENARIOS, SMOKE_SCENARIOS, get_scenario
+from .library import (
+    ALL_SCENARIOS,
+    EXTENDED_SCENARIOS,
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    get_scenario,
+)
 from .runner import (
     ChaosResult,
     InvariantCheck,
@@ -39,6 +45,7 @@ __all__ = [
     "build_faults",
     "SCENARIOS",
     "SMOKE_SCENARIOS",
+    "EXTENDED_SCENARIOS",
     "ALL_SCENARIOS",
     "get_scenario",
 ]

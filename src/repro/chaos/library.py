@@ -114,6 +114,45 @@ EXTENDED_SCENARIOS = (
         min_commits=20,
     ),
     Scenario(
+        name="optimistic-crossover",
+        description="Optimistic RBC under 5% loss: most instances still "
+        "deliver on the 2-round fast path, but dropped echoes must drive "
+        "measurable timeouts onto the pessimistic READY path.",
+        n=4,
+        duration=20.0,
+        drop_prob=0.05,
+        rbc_mode="optimistic",
+        seed=31,
+        min_commits=30,
+        extra={"expect_fast": True, "expect_fallback": True},
+    ),
+    Scenario(
+        name="slow-proposer-prefix",
+        description="A proposer drip-feeds its block tail; the certified-"
+        "prefix rule must keep committing its non-empty prefixes with no "
+        "round stall.",
+        n=4,
+        duration=20.0,
+        rbc_mode="prefix",
+        byzantine=((2, "slow-proposer"),),
+        seed=32,
+        min_commits=30,
+        extra={"expect_prefix": True},
+    ),
+    Scenario(
+        name="tail-withholder",
+        description="A proposer permanently withholds half its chunks; "
+        "voters certify exactly the disseminated prefix and the withheld "
+        "tail is provably attributed, never waited for.",
+        n=4,
+        duration=20.0,
+        rbc_mode="prefix",
+        byzantine=((1, "tail-withholder"),),
+        seed=33,
+        min_commits=30,
+        extra={"expect_prefix": True},
+    ),
+    Scenario(
         name="byz_equivocator_partition",
         description="An equivocating proposer during a partition: RBC must "
         "block a split delivery even while the network is split.",

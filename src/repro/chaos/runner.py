@@ -17,6 +17,8 @@ from ..consensus.byzantine import (
     EquivocatingProposer,
     LazyVoter,
     SilentNode,
+    SlowProposer,
+    TailWithholder,
     WithholdingProposer,
 )
 from ..consensus.deployment import Deployment
@@ -40,6 +42,8 @@ _BYZANTINE_FACTORIES = {
     "lazy-voter": LazyVoter,
     "equivocator": EquivocatingProposer,
     "withholder": WithholdingProposer,
+    "slow-proposer": SlowProposer,
+    "tail-withholder": TailWithholder,
 }
 
 
@@ -124,6 +128,7 @@ def build_deployment(
     deployment = Deployment(
         ClanConfig.baseline(scenario.n),
         params=ProtocolParams(
+            rbc_mode=scenario.rbc_mode,
             leader_timeout=scenario.leader_timeout,
             verify_signatures=False,
         ),
@@ -243,6 +248,54 @@ def run_scenario(
             )
         )
 
+    # -- RBC-mode invariants: fast-path crossover / certified prefixes ------
+    mode_stats: dict[str, Any] = {}
+    if scenario.rbc_mode == "optimistic":
+        fast = sum(deployment.nodes[i].rbc.fast_deliveries for i in honest)
+        fallback = sum(deployment.nodes[i].rbc.fallback_deliveries for i in honest)
+        reasons: dict[str, int] = {}
+        for i in honest:
+            for reason, count in deployment.nodes[i].rbc.fallbacks.items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        mode_stats = {
+            "fast_deliveries": fast,
+            "fallback_deliveries": fallback,
+            "fallback_reasons": reasons,
+        }
+        if scenario.extra.get("expect_fast") or scenario.extra.get("expect_fallback"):
+            ok = (not scenario.extra.get("expect_fast") or fast > 0) and (
+                not scenario.extra.get("expect_fallback") or fallback > 0
+            )
+            checks.append(
+                InvariantCheck(
+                    "rbc.crossover",
+                    ok,
+                    f"fast {fast}, fallback {fallback} (reasons {reasons or 'none'})",
+                )
+            )
+    elif scenario.rbc_mode == "prefix":
+        commits = sum(deployment.nodes[i].prefix_commits for i in honest)
+        truncated = sum(deployment.nodes[i].prefix_truncated for i in honest)
+        committed = sum(deployment.nodes[i].prefix_chunks_committed for i in honest)
+        dropped = sum(deployment.nodes[i].prefix_chunks_dropped for i in honest)
+        mode_stats = {
+            "prefix_commits": commits,
+            "prefix_truncated": truncated,
+            "prefix_chunks_committed": committed,
+            "prefix_chunks_dropped": dropped,
+        }
+        if scenario.extra.get("expect_prefix"):
+            # The point of the scenario: non-empty prefixes commit even
+            # though the adversary forces truncation somewhere.
+            checks.append(
+                InvariantCheck(
+                    "prefix.commits",
+                    commits > 0 and truncated > 0,
+                    f"{commits} prefix commits, {truncated} truncated, "
+                    f"{committed} chunks committed / {dropped} dropped",
+                )
+            )
+
     # -- online monitors: zero safety anomalies, ever -----------------------
     if suite is not None:
         safety = suite.safety_anomalies
@@ -270,6 +323,7 @@ def run_scenario(
         "duplicated": base.stats.messages_duplicated,
         "settle_time": settle,
     }
+    stats.update(mode_stats)
     if scenario.use_reliable:
         stats["retransmissions"] = deployment.network.retransmissions
         stats["duplicates_suppressed"] = deployment.network.duplicates_suppressed

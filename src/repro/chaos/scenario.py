@@ -19,7 +19,18 @@ from ..types import NodeId
 
 #: Byzantine behaviours a scenario may name (kept in lockstep with
 #: :mod:`repro.consensus.byzantine`; resolved lazily by the runner).
-BYZANTINE_KINDS = ("silent", "lazy-voter", "equivocator", "withholder")
+BYZANTINE_KINDS = (
+    "silent",
+    "lazy-voter",
+    "equivocator",
+    "withholder",
+    "slow-proposer",
+    "tail-withholder",
+)
+
+#: RBC modes a scenario may select (kept in lockstep with
+#: :class:`repro.consensus.params.ProtocolParams`).
+RBC_MODES = ("two-round", "bracha", "optimistic", "prefix")
 
 
 @dataclass(frozen=True)
@@ -79,6 +90,10 @@ class Scenario:
     seed: int = 0
     leader_timeout: float = 1.0
     txns_per_proposal: int = 64
+    #: RBC variant the deployment runs (from :data:`RBC_MODES`) — chaos
+    #: scenarios are how the optimistic fast-path crossover and the
+    #: certified-prefix commit rule are exercised under faults.
+    rbc_mode: str = "two-round"
     # -- faults -------------------------------------------------------------
     drop_prob: float = 0.0
     duplicate_prob: float = 0.0
@@ -104,6 +119,10 @@ class Scenario:
             raise ConfigError("chaos scenarios need n >= 4 (f >= 1)")
         if self.duration <= 0:
             raise ConfigError("duration must be positive")
+        if self.rbc_mode not in RBC_MODES:
+            raise ConfigError(
+                f"unknown rbc_mode {self.rbc_mode!r}; choose from {RBC_MODES}"
+            )
         for node, kind in self.byzantine:
             if kind not in BYZANTINE_KINDS:
                 raise ConfigError(

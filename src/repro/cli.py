@@ -82,6 +82,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bandwidth_bps=args.bandwidth_mbps * 1e6,
         duration=args.duration,
         warmup=min(args.duration / 3.0, 3.0),
+        rbc_mode=args.rbc,
     )
     metrics = run_experiment(config)
     print(format_table([
@@ -108,6 +109,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             bandwidth_bps=args.bandwidth_mbps * 1e6,
             duration=args.duration,
             warmup=min(args.duration / 3.0, 3.0),
+            rbc_mode=args.rbc,
         )
         metrics = run_experiment(config)
         rows.append({"load": load, **metrics.row()})
@@ -366,11 +368,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from .chaos import SCENARIOS, SMOKE_SCENARIOS, load_scenarios, run_scenario
+    from .chaos import (
+        EXTENDED_SCENARIOS,
+        SCENARIOS,
+        SMOKE_SCENARIOS,
+        load_scenarios,
+        run_scenario,
+    )
 
     if args.list:
-        for scenario in SCENARIOS.values():
-            print(f"{scenario.name:28s} {scenario.description}")
+        for title, group in (
+            ("SMOKE (CI chaos-smoke set)", SMOKE_SCENARIOS),
+            ("EXTENDED (local runs / resilience bench)", EXTENDED_SCENARIOS),
+        ):
+            print(title)
+            for scenario in group:
+                mode = "" if scenario.rbc_mode == "two-round" else f" [{scenario.rbc_mode}]"
+                print(f"  {scenario.name + mode:30s} {scenario.description}")
+            print()
         return 0
     if args.file:
         with open(args.file, encoding="utf-8") as handle:
@@ -472,6 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--clans", type=int, default=2)
         p.add_argument("--bandwidth-mbps", type=float, default=400.0)
         p.add_argument("--duration", type=float, default=8.0)
+        p.add_argument(
+            "--rbc", default="two-round",
+            choices=["two-round", "bracha", "optimistic", "prefix"],
+            help="RBC variant for vertex dissemination (docs/FAULTS.md)",
+        )
 
     run = sub.add_parser("run", help="simulate one configuration")
     add_run_args(run)

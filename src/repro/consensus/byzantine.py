@@ -8,6 +8,7 @@ honest majority is unaffected.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 from ..dag.block import Block
@@ -149,5 +150,150 @@ class WithholdingProposer(ByzantineBehavior):
             for party in range(cfg.n):
                 body = block if party in lucky else None
                 network.send(node.node_id, party, VertexValMsg(vertex, body, signature))
+
+        rbc.broadcast = withholding_broadcast  # type: ignore[assignment]
+
+
+def _prefix_broadcast_parts(rbc, vertex: Vertex, block: Block):
+    """The pieces an honest prefix-mode broadcast would send.
+
+    Returns (manifest, chunks, signature, in_clan, outside) so Byzantine
+    proposers can replay the honest dissemination with perturbed timing or
+    coverage.  Raises if the node is not in prefix mode."""
+    from ..rbc.prefix import split_block
+    from .messages import vertex_val_statement
+
+    if not rbc._prefix:
+        raise ConsensusError("prefix dissemination requires rbc_mode='prefix'")
+    signature = None
+    if rbc.mode == "two-round":  # pragma: no cover - prefix is never two-round
+        signature = rbc._key.sign(
+            vertex_val_statement(rbc.node_id, vertex.round, vertex.vertex_digest())
+        )
+    cfg = rbc.schedule.cfg_at(vertex.round)
+    clan = cfg.clan(cfg.block_clan_of(rbc.node_id))
+    in_clan = [p for p in range(rbc.cfg.n) if p in clan]
+    outside = [p for p in range(rbc.cfg.n) if p not in clan]
+    manifest, chunks = split_block(block, vertex.block_chunks)
+    return manifest, chunks, signature, in_clan, outside
+
+
+class SlowProposer(ByzantineBehavior):
+    """Disseminates its block tail late: chunk i arrives ``i * delay`` after
+    the vertex (prefix mode), or the whole block arrives ``delay`` late
+    while the digest-only vertex goes out on time (other modes).
+
+    The certified-prefix commit rule should absorb this without stalling any
+    round: voters attest the chunks they hold at attestation time, and the
+    commit orders that prefix."""
+
+    def __init__(self, delay: float = 0.6) -> None:
+        if delay <= 0:
+            raise ConsensusError("delay must be positive")
+        self.delay = delay
+
+    def install(self, node: "SailfishNode", deployment: "Deployment") -> None:
+        rbc = node.rbc
+        network = deployment.network
+        sim = deployment.sim
+        delay = self.delay
+
+        def slow_broadcast(vertex: Vertex, block: Block | None) -> None:
+            from ..rbc.prefix import BlockChunkMsg
+            from .messages import VertexValMsg, vertex_val_statement
+
+            if block is None or not rbc._prefix:
+                signature = None
+                if rbc.mode == "two-round":
+                    signature = rbc._key.sign(
+                        vertex_val_statement(
+                            node.node_id, vertex.round, vertex.vertex_digest()
+                        )
+                    )
+                if block is None:
+                    network.broadcast(
+                        node.node_id, VertexValMsg(vertex, None, signature)
+                    )
+                    return
+                # Non-prefix fallback: vertex on time, block only after the
+                # delay (everyone else pulls or waits).
+                cfg = rbc.schedule.cfg_at(vertex.round)
+                clan = cfg.clan(cfg.block_clan_of(node.node_id))
+                in_clan = [p for p in range(rbc.cfg.n) if p in clan]
+                outside = [p for p in range(rbc.cfg.n) if p not in clan]
+                network.multicast(
+                    node.node_id, outside, VertexValMsg(vertex, None, signature)
+                )
+                sim.schedule(
+                    delay, network.multicast, node.node_id, in_clan,
+                    VertexValMsg(vertex, block, signature),
+                )
+                return
+            manifest, chunks, signature, in_clan, outside = _prefix_broadcast_parts(
+                rbc, vertex, block
+            )
+            network.multicast(
+                node.node_id, in_clan, VertexValMsg(vertex, None, signature, manifest)
+            )
+            if outside:
+                network.multicast(
+                    node.node_id, outside, VertexValMsg(vertex, None, signature)
+                )
+            for chunk in chunks:
+                msg = BlockChunkMsg(node.node_id, vertex.round, chunk)
+                if chunk.index == 0:
+                    network.multicast(node.node_id, in_clan, msg)
+                else:
+                    sim.schedule(
+                        chunk.index * delay, network.multicast,
+                        node.node_id, in_clan, msg,
+                    )
+
+        rbc.broadcast = slow_broadcast  # type: ignore[assignment]
+
+
+class TailWithholder(ByzantineBehavior):
+    """Never sends the tail of its blocks: only the first
+    ``ceil(keep_fraction * chunks)`` chunks are disseminated (prefix mode).
+
+    The commit rule should order exactly the disseminated prefix — the
+    proposer loses its tail transactions but cannot stall the round or the
+    executor.  In non-prefix modes this behaviour degenerates to an honest
+    broadcast (there is no tail to withhold without chunking)."""
+
+    def __init__(self, keep_fraction: float = 0.5) -> None:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ConsensusError("keep_fraction must be within [0, 1]")
+        self.keep_fraction = keep_fraction
+
+    def install(self, node: "SailfishNode", deployment: "Deployment") -> None:
+        rbc = node.rbc
+        network = deployment.network
+        original = rbc.broadcast
+        fraction = self.keep_fraction
+
+        def withholding_broadcast(vertex: Vertex, block: Block | None) -> None:
+            from ..rbc.prefix import BlockChunkMsg
+            from .messages import VertexValMsg
+
+            if block is None or not rbc._prefix:
+                original(vertex, block)
+                return
+            manifest, chunks, signature, in_clan, outside = _prefix_broadcast_parts(
+                rbc, vertex, block
+            )
+            keep = min(len(chunks), max(1, math.ceil(len(chunks) * fraction)))
+            network.multicast(
+                node.node_id, in_clan, VertexValMsg(vertex, None, signature, manifest)
+            )
+            if outside:
+                network.multicast(
+                    node.node_id, outside, VertexValMsg(vertex, None, signature)
+                )
+            for chunk in chunks[:keep]:
+                network.multicast(
+                    node.node_id, in_clan,
+                    BlockChunkMsg(node.node_id, vertex.round, chunk),
+                )
 
         rbc.broadcast = withholding_broadcast  # type: ignore[assignment]

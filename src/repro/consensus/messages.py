@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from ..crypto.certificates import QuorumCertificate
 from ..crypto.hashing import digest as compute_digest
@@ -20,6 +21,9 @@ from ..dag.vertex import Vertex
 from ..net import sizes
 from ..net.message import Message
 from ..types import NodeId, Round
+
+if TYPE_CHECKING:
+    from ..rbc.prefix import ChunkManifest
 
 
 # Statement digests are pure functions of their (hashable) arguments and are
@@ -44,11 +48,17 @@ def no_vote_statement(round_: Round) -> bytes:
 
 @dataclass(slots=True)
 class VertexValMsg(Message):
-    """Merged VAL: the vertex for everyone, the block for clan members."""
+    """Merged VAL: the vertex for everyone, the block for clan members.
+
+    In prefix mode the block travels as separate chunk messages; clan
+    members instead receive the :class:`~repro.rbc.prefix.ChunkManifest`
+    (verified against ``vertex.chunk_root``) alongside the vertex.
+    """
 
     vertex: Vertex
     block: Block | None
     signature: Signature | None
+    manifest: "ChunkManifest | None" = None
 
     @property
     def origin(self) -> NodeId:
@@ -68,6 +78,8 @@ class VertexValMsg(Message):
             size += self.block.wire_size()
         if self.signature is not None:
             size += sizes.SIGNATURE_SIZE
+        if self.manifest is not None:
+            size += self.manifest.wire_size()
         return size
 
 

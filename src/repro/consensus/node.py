@@ -35,6 +35,7 @@ from ..dag.store import DagStore
 from ..dag.vertex import Vertex, VertexRef
 from ..errors import ConsensusError
 from ..net.network import Network
+from ..rbc.prefix import assemble_prefix, split_block
 from ..sim.scheduler import Simulator
 from ..sim.timers import Timer
 from ..types import NodeId, Round
@@ -102,9 +103,32 @@ class SailfishNode:
             mode=params.rbc_mode,
             verify_signatures=params.verify_signatures,
             retry_timeout=params.retry_timeout,
+            fallback_timeout=params.fallback_timeout,
             schedule=clan_schedule,
             tracer=self.tracer,
         )
+
+        # Prefix mode (Raptr-style certified-prefix commits): chunked
+        # vertices awaiting their attestation window, ordered-but-unfetched
+        # prefixes, commit-decision hooks, and counters.
+        self._prefix = params.rbc_mode == "prefix"
+        #: (round, source) -> {"vertex", "votes": {attester: held}}.
+        self._prefix_pending: dict[tuple[Round, NodeId], dict] = {}
+        #: Decided prefixes whose chunks are still being pulled.
+        self._awaiting_chunks: dict[tuple[Round, NodeId], tuple[Vertex, int]] = {}
+        #: Execution feed: (node, key, block) fired at prefix-commit decision
+        #: time — in prefix mode blocks NEVER reach the executor through
+        #: on_block_ready, only through this hook, so every clan member
+        #: executes the identical decided prefix.
+        self.on_commit_block: Callable[["SailfishNode", bytes, Block], None] | None = None
+        #: Forensics hook: (node, vertex, committed_chunks) per decision.
+        self.on_prefix: Callable[["SailfishNode", Vertex, int], None] | None = None
+        self.prefix_commits = 0
+        self.prefix_truncated = 0
+        self.prefix_chunks_committed = 0
+        self.prefix_chunks_dropped = 0
+        if self._prefix:
+            self.rbc.on_chunk = self._on_chunks_progress
 
         self.round: Round = 0
         self.started = False
@@ -202,6 +226,14 @@ class SailfishNode:
         round_cfg = self.clan_schedule.cfg_at(round_)
         if round_cfg.is_block_proposer(self.node_id) and self.make_block is not None:
             block = self.make_block(self.node_id, round_, self.sim.now)
+        num_chunks = 0
+        chunk_root = None
+        if self._prefix and block is not None:
+            # split_block clamps the chunk count for small blocks; the vertex
+            # must carry the actual count so peers re-split identically.
+            manifest, _ = split_block(block, self.params.block_chunks)
+            num_chunks = manifest.num_chunks
+            chunk_root = manifest.manifest_digest()
         vertex = Vertex(
             round=round_,
             source=self.node_id,
@@ -209,6 +241,9 @@ class SailfishNode:
             strong_edges=strong,
             weak_edges=weak,
             nvc=nvc,
+            block_chunks=num_chunks,
+            chunk_root=chunk_root,
+            prefix_votes=self._prefix_votes(strong + weak) if self._prefix else (),
         )
         if block is not None:
             self.blocks[vertex.block_digest] = block
@@ -382,6 +417,8 @@ class SailfishNode:
                 self.ordered_log.append((vertex, now))
                 if self.on_ordered is not None:
                     self.on_ordered(self, vertex, now)
+                if self._prefix:
+                    self._prefix_track(vertex)
         if self.tracer.enabled:
             self.tracer.counter(
                 "consensus.commit", node=self.node_id, time=now,
@@ -504,6 +541,145 @@ class SailfishNode:
                 propose = False
         self._enter_round(next_round, propose=propose)
         self._try_advance()
+
+    # -- prefix commits (rbc_mode="prefix") ----------------------------------------------
+    #
+    # Certified-prefix ordering: a chunked vertex certifies only metadata;
+    # round-(r+1) clan members attest (via ``prefix_votes``) how much of the
+    # block they hold, and the commit rule orders the longest prefix that a
+    # clan quorum of attesters provably holds.  Every decision input is read
+    # from the ordered log, which is identical on all honest nodes — so the
+    # decided prefix length k is identical everywhere without extra messages.
+
+    def _prefix_votes(self, edges: tuple[VertexRef, ...]) -> tuple[tuple[NodeId, int], ...]:
+        """Attestations for partially-held chunked edge targets.
+
+        Covers strong AND weak edges: an orphaned chunked vertex (ordered
+        only through weak references) still needs attesters.  An omitted
+        entry means "I hold the full block", so the common case (everything
+        arrived) costs zero bytes."""
+        votes = []
+        for ref in edges:
+            target = self.store.get(ref.round, ref.source)
+            if target is None or not target.block_chunks:
+                continue
+            round_cfg = self.clan_schedule.cfg_at(ref.round)
+            clan = round_cfg.clan(round_cfg.block_clan_of(target.source))
+            if self.node_id not in clan:
+                continue  # chunks go to the clan; outsiders cannot attest
+            held = self.rbc.held_prefix(ref.source, ref.round)
+            if held < target.block_chunks:
+                votes.append((ref.source, held))
+        return tuple(votes)
+
+    def _prefix_track(self, vertex: Vertex) -> None:
+        """Feed one newly ordered vertex through the prefix state machine."""
+        # 1. Accumulate attestations from every edge (strong edges carry the
+        #    common r+1 votes; weak edges attest orphaned vertices that were
+        #    skipped by the next round and ordered late).
+        if self._prefix_pending:
+            pv = dict(vertex.prefix_votes)
+            for ref in vertex.parents():
+                entry = self._prefix_pending.get((ref.round, ref.source))
+                if entry is None:
+                    continue
+                target = entry["vertex"]
+                round_cfg = self.clan_schedule.cfg_at(ref.round)
+                clan = round_cfg.clan(round_cfg.block_clan_of(target.source))
+                if vertex.source not in clan:
+                    continue
+                held = min(pv.get(ref.source, target.block_chunks), target.block_chunks)
+                entry["votes"].setdefault(vertex.source, held)
+        # 2. Decide: the first ordered vertex two rounds past a chunked
+        #    vertex closes its attestation window (after its own votes above
+        #    were counted — a weak edge from the sentinel itself may be an
+        #    orphan's only attestation).  The trigger is a position in the
+        #    ordered log (not a local commit batch), so all honest nodes
+        #    decide with the same attester set.
+        if self._prefix_pending:
+            due = sorted(
+                k for k in self._prefix_pending if vertex.round >= k[0] + 2
+            )
+            for key in due:
+                self._prefix_decide(key, self._prefix_pending.pop(key))
+        # 3. Register chunked vertices for a future decision (a vertex never
+        #    references itself, so registration goes last).
+        if vertex.block_chunks:
+            self._prefix_pending[(vertex.round, vertex.source)] = {
+                "vertex": vertex,
+                "votes": {},
+            }
+
+    def _prefix_decide(self, key: tuple[Round, NodeId], entry: dict) -> None:
+        """Close the attestation window: order the certified prefix."""
+        round_, source = key
+        vertex: Vertex = entry["vertex"]
+        votes: dict[NodeId, int] = entry["votes"]
+        if votes:
+            round_cfg = self.clan_schedule.cfg_at(round_)
+            quorum = round_cfg.clan_echo_quorum(round_cfg.block_clan_of(source))
+            # The t-th largest attested value with t = f_c+1: at least one
+            # honest attester holds >= k chunks, so [0, k) is retrievable.
+            t = min(quorum, len(votes))
+            k = sorted(votes.values(), reverse=True)[t - 1]
+        else:
+            k = 0
+        self.prefix_chunks_committed += k
+        self.prefix_chunks_dropped += vertex.block_chunks - k
+        if k > 0:
+            self.prefix_commits += 1
+        if k < vertex.block_chunks:
+            self.prefix_truncated += 1
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "consensus.prefix", node=self.node_id, time=self.sim.now,
+                round=round_, source=source, chunks=vertex.block_chunks,
+                committed=k,
+            )
+        if self.on_prefix is not None:
+            self.on_prefix(self, vertex, k)
+        # Always deliver — the empty (k=0) prefix included: the executor
+        # drains blocks in total order and would stall forever on a gap.
+        holders = sorted(v for v, held in votes.items() if held >= k)
+        self._prefix_deliver(vertex, k, holders)
+
+    def _prefix_deliver(self, vertex: Vertex, k: int, holders: list[NodeId]) -> None:
+        """Hand the decided prefix to execution (clan duty), pulling missing
+        chunks from attesters who claimed to hold at least k."""
+        if self.on_commit_block is None:
+            return
+        if not self.rbc._serves_block(vertex.source, vertex.round):
+            return
+        manifest, chunks = self.rbc.prefix_parts(vertex.source, vertex.round)
+        if manifest is not None and all(i in chunks for i in range(k)):
+            block = assemble_prefix(manifest, chunks, k)
+            self.on_commit_block(self, vertex.block_digest, block)
+            return
+        # Clan members are fallback holders: chunk responses also carry the
+        # manifest, so a member that pulled the bare vertex still recovers.
+        round_cfg = self.clan_schedule.cfg_at(vertex.round)
+        clan = round_cfg.clan(round_cfg.block_clan_of(vertex.source))
+        pool = holders + sorted(p for p in clan if p not in holders)
+        self._awaiting_chunks[vertex.key] = (vertex, k)
+        self.rbc.fetch_chunks(
+            vertex.source, vertex.round, k,
+            [h for h in pool if h != self.node_id],
+        )
+
+    def _on_chunks_progress(self, origin: NodeId, round_: Round) -> None:
+        """RBC chunk-holdings callback: complete a stalled prefix delivery."""
+        entry = self._awaiting_chunks.get((round_, origin))
+        if entry is None:
+            return
+        vertex, k = entry
+        manifest, chunks = self.rbc.prefix_parts(origin, round_)
+        if manifest is None or not all(i in chunks for i in range(k)):
+            return
+        del self._awaiting_chunks[(round_, origin)]
+        if self.on_commit_block is not None:
+            self.on_commit_block(
+                self, vertex.block_digest, assemble_prefix(manifest, chunks, k)
+            )
 
     # -- block handling ------------------------------------------------------------------
 

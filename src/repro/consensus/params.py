@@ -13,7 +13,11 @@ class ProtocolParams:
 
     Args:
         rbc_mode: ``"two-round"`` (signed ECHOs + certificates, as in the
-            paper's evaluation) or ``"bracha"`` (signature-free, 3 rounds).
+            paper's evaluation), ``"bracha"`` (signature-free, 3 rounds),
+            ``"optimistic"`` (signature-free 2-round fast path on all-to-all
+            ECHO agreement, Bracha fallback on conflict/timeout/READY), or
+            ``"prefix"`` (Raptr-style chunked blocks with certified-prefix
+            commits; Bracha-style vertex certification).
         leader_timeout: seconds a node waits for the round leader's vertex
             before multicasting a no-vote.
         verify_signatures: verify every signature structurally.  Disabling
@@ -31,6 +35,12 @@ class ProtocolParams:
             exponentially, capped, like payload pulls).
         gc_depth: rounds of retrieval state kept behind the commit frontier
             before garbage collection (0 disables GC).
+        fallback_timeout: (optimistic mode) how long an RBC instance waits
+            for all-to-all ECHO agreement before switching to the
+            pessimistic READY path.
+        block_chunks: (prefix mode) chunks a block is split into; voters
+            attest the prefix they hold and the commit rule orders the
+            certified prefix.
     """
 
     rbc_mode: str = "two-round"
@@ -43,9 +53,11 @@ class ProtocolParams:
     sync_batch_rounds: int = 20
     sync_retry_timeout: float = 0.5
     gc_depth: int = 8
+    fallback_timeout: float = 0.5
+    block_chunks: int = 4
 
     def __post_init__(self) -> None:
-        if self.rbc_mode not in ("two-round", "bracha"):
+        if self.rbc_mode not in ("two-round", "bracha", "optimistic", "prefix"):
             raise ConfigError(f"unknown rbc_mode {self.rbc_mode!r}")
         if self.leader_timeout <= 0:
             raise ConfigError("leader_timeout must be positive")
@@ -61,3 +73,7 @@ class ProtocolParams:
             raise ConfigError("sync_retry_timeout must be positive")
         if self.gc_depth < 0:
             raise ConfigError("gc_depth cannot be negative")
+        if self.fallback_timeout <= 0:
+            raise ConfigError("fallback_timeout must be positive")
+        if self.block_chunks < 1:
+            raise ConfigError("block_chunks must be at least 1")

@@ -14,9 +14,19 @@ and the block only to the proposer's clan:
   on vertices; missing blocks are pulled off the critical path and delivered
   to clan members when they arrive.
 
-Two completion modes mirror the two tribe-assisted RBC constructions:
-``"two-round"`` (signed ECHOes aggregated into a multicast certificate,
-Fig. 3) and ``"bracha"`` (unsigned ECHO/READY phases, Fig. 2).
+Four completion modes:
+
+* ``"two-round"`` — signed ECHOes aggregated into a multicast certificate
+  (Fig. 3).
+* ``"bracha"`` — unsigned ECHO/READY phases (Fig. 2).
+* ``"optimistic"`` — unsigned fast path: deliver when *all n* parties ECHO
+  one digest (2δ), falling back to the Bracha READY path when a conflicting
+  digest shows up, the per-instance fallback timer fires, or any READY
+  arrives (someone else already fell back).
+* ``"prefix"`` — Bracha-style vertex certification, but the block travels
+  as per-chunk messages bound to the vertex via a manifest digest
+  (``vertex.chunk_root``); voters attest the prefix they hold and the
+  commit rule orders the certified prefix (see ``consensus/node.py``).
 """
 
 from __future__ import annotations
@@ -33,6 +43,14 @@ from ..dag.vertex import Vertex
 from ..errors import ConsensusError
 from ..net.network import Network
 from ..rbc.messages import PayloadRequest, PayloadResponse
+from ..rbc.prefix import (
+    BlockChunk,
+    BlockChunkMsg,
+    ChunkManifest,
+    ChunkRequestMsg,
+    ChunkResponseMsg,
+    split_block,
+)
 from ..rbc.retrieval import Responder, Retriever
 from ..sim.scheduler import Simulator
 from ..types import NodeId, Round
@@ -69,6 +87,15 @@ class VertexInstance:
     echo_sigs: dict[bytes, dict[NodeId, object]] = field(default_factory=dict)
     readies: dict[bytes, set[NodeId]] = field(default_factory=dict)
     conflicting: set[bytes] = field(default_factory=set)
+    # Optimistic mode: has this instance abandoned the fast path, and the
+    # armed fallback timer (scalar defaults — zero cost for other modes).
+    pessimistic: bool = False
+    fallback_timer: object | None = None
+    # Prefix mode: the verified manifest, verified chunks by index, and
+    # chunks buffered before the manifest arrived (lazily allocated).
+    manifest: ChunkManifest | None = None
+    chunks: dict[int, BlockChunk] | None = None
+    chunk_buffer: dict[int, BlockChunk] | None = None
     # Phase timestamps, populated only when tracing is enabled.
     val_at: float | None = None
     echo_at: float | None = None
@@ -99,10 +126,11 @@ class VertexRbc:
         mode: str = "two-round",
         verify_signatures: bool = True,
         retry_timeout: float = 0.25,
+        fallback_timeout: float = 0.5,
         schedule=None,
         tracer=None,
     ) -> None:
-        if mode not in ("two-round", "bracha"):
+        if mode not in ("two-round", "bracha", "optimistic", "prefix"):
             raise ConsensusError(f"unknown RBC mode {mode!r}")
         self.node_id = node_id
         self.cfg = clan_cfg
@@ -121,8 +149,24 @@ class VertexRbc:
         self.on_vertex = on_vertex
         self.on_block = on_block
         self.mode = mode
+        self._optimistic = mode == "optimistic"
+        self._prefix = mode == "prefix"
+        self.fallback_timeout = fallback_timeout
+        self.retry_timeout = retry_timeout
         self.verify = verify_signatures
         self.instances: dict[Key, VertexInstance] = {}
+        # Optimistic-mode statistics: deliveries through each path and
+        # fallback-trigger counts by reason ("conflict"/"timeout"/"ready").
+        self.fast_deliveries = 0
+        self.fallback_deliveries = 0
+        self.fallbacks: dict[str, int] = {}
+        # Prefix-mode chunk-pull state: per-instance fetch entries (rotating
+        # holders, capped backoff) and the serve-once rate-limit marks.
+        self._chunk_fetch: dict[Key, dict] = {}
+        self._chunk_served: set[tuple[NodeId, Round, int, NodeId]] = set()
+        #: Prefix-mode hook: fired as (origin, round) whenever this node's
+        #: verified chunk holdings for an instance grow (node completion).
+        self.on_chunk = None
         self._quorum = clan_cfg.quorum
         self._amplify = clan_cfg.f + 1
         self._block_retriever = Retriever(
@@ -224,10 +268,29 @@ class VertexRbc:
             return
         cfg = self.schedule.cfg_at(vertex.round)
         clan = cfg.clan(cfg.block_clan_of(self.node_id))
-        with_block = VertexValMsg(vertex, block, signature)
-        without_block = VertexValMsg(vertex, None, signature)
         in_clan = [p for p in range(self.cfg.n) if p in clan]
         outside = [p for p in range(self.cfg.n) if p not in clan]
+        if self._prefix:
+            # The block travels as chunks; clan members get the manifest
+            # (bound to the vertex via chunk_root) alongside the vertex.
+            manifest, chunks = split_block(block, vertex.block_chunks)
+            if manifest.manifest_digest() != vertex.chunk_root:
+                raise ConsensusError("vertex.chunk_root does not match manifest")
+            self.network.multicast(
+                self.node_id, in_clan, VertexValMsg(vertex, None, signature, manifest)
+            )
+            if outside:
+                self.network.multicast(
+                    self.node_id, outside, VertexValMsg(vertex, None, signature)
+                )
+            for chunk in chunks:
+                self.network.multicast(
+                    self.node_id, in_clan,
+                    BlockChunkMsg(self.node_id, vertex.round, chunk),
+                )
+            return
+        with_block = VertexValMsg(vertex, block, signature)
+        without_block = VertexValMsg(vertex, None, signature)
         self.network.multicast(self.node_id, in_clan, with_block)
         if outside:
             self.network.multicast(self.node_id, outside, without_block)
@@ -252,6 +315,12 @@ class VertexRbc:
             self._on_payload_request(src, msg)
         elif isinstance(msg, PayloadResponse):
             self._on_payload_response(src, msg)
+        elif isinstance(msg, BlockChunkMsg):
+            self._on_chunk(src, msg)
+        elif isinstance(msg, ChunkRequestMsg):
+            self._on_chunk_request(src, msg)
+        elif isinstance(msg, ChunkResponseMsg):
+            self._on_chunk_response(src, msg)
         else:
             return False
         return True
@@ -277,6 +346,9 @@ class VertexRbc:
             VertexReadyMsg: self._on_ready,
             PayloadRequest: self._on_payload_request,
             PayloadResponse: self._on_payload_response,
+            BlockChunkMsg: self._on_chunk,
+            ChunkRequestMsg: self._on_chunk_request,
+            ChunkResponseMsg: self._on_chunk_response,
         }
 
     def _on_val(self, src: NodeId, msg: VertexValMsg) -> None:
@@ -303,6 +375,8 @@ class VertexRbc:
         state = self.instance(origin, vertex.round)
         if self.tracer.enabled and state.val_at is None:
             state.val_at = self.sim.now
+        if self._optimistic and not state.pessimistic and not state.vertex_delivered:
+            self._arm_fallback(origin, vertex.round, state)
         if self.mode == "two-round" and msg.signature is not None:
             # Signed VALs are accountability material: two conflicting ones
             # from the same (origin, round) yield a transferable fraud proof.
@@ -315,7 +389,11 @@ class VertexRbc:
             state.conflicting.add(vdigest)
             if self.on_equivocation is not None:
                 self.on_equivocation(origin, vertex.round, len(state.conflicting))
+            if self._optimistic and not state.pessimistic:
+                self._fall_back(origin, vertex.round, state, "conflict")
             return
+        if self._prefix and msg.manifest is not None and state.manifest is None:
+            self._try_accept_manifest(origin, vertex.round, state, msg.manifest)
         if msg.block is not None and state.block is None:
             block = msg.block
             if (
@@ -331,12 +409,22 @@ class VertexRbc:
     def _maybe_echo(self, origin: NodeId, round_: Round, state: VertexInstance) -> None:
         if state.echoed or state.vertex is None:
             return
-        needs_block = (
-            state.vertex.block_digest is not None
-            and self._serves_block(origin, round_)
-        )
-        if needs_block and state.block is None:
-            return
+        # Prefix mode: clan members echo on the vertex+manifest alone — the
+        # whole point is that certification must not wait for the block tail.
+        if self._prefix:
+            if (
+                state.vertex.block_chunks
+                and self._serves_block(origin, round_)
+                and state.manifest is None
+            ):
+                return
+        else:
+            needs_block = (
+                state.vertex.block_digest is not None
+                and self._serves_block(origin, round_)
+            )
+            if needs_block and state.block is None:
+                return
         state.echoed = True
         if self.tracer.enabled:
             now = self.sim.now
@@ -381,6 +469,12 @@ class VertexRbc:
             state.echo_sigs.setdefault(msg.vertex_digest, {})[src] = msg.signature
             if state.cert_sent:
                 return  # tally maintained, but the quorum already acted
+        elif self._optimistic and not state.pessimistic:
+            if not state.vertex_delivered and state.fallback_timer is None:
+                self._arm_fallback(msg.origin, msg.round, state)
+            if len(state.echoes) > 1 or state.conflicting:
+                self._fall_back(msg.origin, msg.round, state, "conflict")
+                return  # _fall_back replayed the quorum check per digest
         self._check_echo_quorum(msg.origin, msg.round, msg.vertex_digest, state)
 
     def _echo_quorum_met(
@@ -399,6 +493,18 @@ class VertexRbc:
     def _check_echo_quorum(
         self, origin: NodeId, round_: Round, digest_: bytes, state: VertexInstance
     ) -> None:
+        if self._optimistic and not state.pessimistic:
+            # Fast path: all n parties echoed one digest with no conflict.
+            # Every clan member echoed only after holding the block, and the
+            # all-n set includes this node, so delivery needs no pull.
+            if (
+                not state.vertex_delivered
+                and not state.conflicting
+                and len(state.echoes) == 1
+                and len(state.echoes.get(digest_, ())) == self.cfg.n
+            ):
+                self._complete(origin, round_, digest_, state)
+            return
         if not self._echo_quorum_met(origin, state, digest_):
             return
         if self.mode == "two-round":
@@ -442,9 +548,28 @@ class VertexRbc:
         self._complete(msg.origin, msg.round, msg.vertex_digest, state)
 
     def _on_ready(self, src: NodeId, msg: VertexReadyMsg) -> None:
-        if self.mode != "bracha":
+        if self.mode == "two-round":
             return
         state = self.instance(msg.origin, msg.round)
+        if self._optimistic and not state.pessimistic and not state.vertex_delivered:
+            # Someone already fell back; join its pessimistic quorum now
+            # instead of waiting out the local fallback timer.
+            self._fall_back(msg.origin, msg.round, state, "ready")
+        if (
+            self._optimistic
+            and state.vertex_delivered
+            and state.ready_digest is None
+            and state.quorum_digest is not None
+        ):
+            # Totality: this node delivered on the fast path (no READY phase)
+            # but a peer fell back and needs 2f+1 READYs.  Answer with the
+            # delivered digest — every fast-path deliverer does, so the
+            # laggard completes even if it was the only one to fall back.
+            state.ready_digest = state.quorum_digest
+            self.network.broadcast(
+                self.node_id,
+                self._make_ready(msg.origin, msg.round, state.quorum_digest),
+            )
         supporters = state.readies.setdefault(msg.vertex_digest, set())
         if src in supporters:
             return
@@ -485,6 +610,12 @@ class VertexRbc:
             return
         if not state.vertex_delivered:
             state.vertex_delivered = True
+            if self._optimistic:
+                self._cancel_fallback(state)
+                if state.pessimistic:
+                    self.fallback_deliveries += 1
+                else:
+                    self.fast_deliveries += 1
             if self.tracer.enabled:
                 now = self.sim.now
                 tr = self.tracer
@@ -497,6 +628,10 @@ class VertexRbc:
                         start=state.val_at if state.val_at is not None else now,
                         end=now, node=self.node_id, origin=origin, round=round_)
             self.on_vertex(state.vertex)
+        if self._prefix:
+            # Prefix mode: blocks reach the node through the certified-prefix
+            # commit path (node.on_commit_block), never through on_block.
+            return
         if state.vertex.block_digest is None or not self._serves_block(
             origin, round_
         ):
@@ -520,6 +655,8 @@ class VertexRbc:
         self, origin: NodeId, round_: Round, digest_: bytes, state: VertexInstance
     ) -> None:
         """Pull the missing block from echoing clan members."""
+        if self._prefix:
+            return  # chunk pulls replace the whole-block plane
         if state.block is not None or state.block_delivered:
             return
         if state.vertex is None or state.vertex.block_digest is None:
@@ -564,6 +701,238 @@ class VertexRbc:
             state.vertex = vertex
         self._maybe_finish(origin, round_, state)
 
+    # -- optimistic fallback ----------------------------------------------------------
+
+    def _arm_fallback(self, origin: NodeId, round_: Round, state: VertexInstance) -> None:
+        if state.fallback_timer is not None:
+            return
+        state.fallback_timer = self.sim.schedule(
+            self.fallback_timeout, self._on_fallback_timeout, origin, round_
+        )
+
+    def _cancel_fallback(self, state: VertexInstance) -> None:
+        handle = state.fallback_timer
+        if handle is not None:
+            handle.cancel()
+            state.fallback_timer = None
+
+    def _on_fallback_timeout(self, origin: NodeId, round_: Round) -> None:
+        state = self.instances.get((origin, round_))
+        if state is None:
+            return
+        state.fallback_timer = None
+        if state.vertex_delivered or state.pessimistic:
+            return
+        self._fall_back(origin, round_, state, "timeout")
+
+    def _fall_back(
+        self, origin: NodeId, round_: Round, state: VertexInstance, reason: str
+    ) -> None:
+        """Abandon the fast path for one instance; finish via READY quorum."""
+        if state.pessimistic or state.vertex_delivered:
+            return
+        state.pessimistic = True
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        self._cancel_fallback(state)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "rbc.fallback", node=self.node_id, origin=origin,
+                round=round_, reason=reason, time=self.sim.now,
+            )
+        # Replay the quorum check per digest: 2f+1 may long be met while the
+        # fast path was holding out for all n.
+        for digest_ in sorted(state.echoes):
+            self._check_echo_quorum(origin, round_, digest_, state)
+
+    # -- prefix chunks ----------------------------------------------------------------
+
+    def _try_accept_manifest(
+        self, origin: NodeId, round_: Round, state: VertexInstance,
+        manifest: ChunkManifest,
+    ) -> bool:
+        """Accept a manifest iff it matches the certified vertex's chunk root."""
+        accepted = state.vertex
+        if (
+            accepted is None
+            or not accepted.block_chunks
+            or manifest.num_chunks != accepted.block_chunks
+            or manifest.block_digest != accepted.block_digest
+            or manifest.manifest_digest() != accepted.chunk_root
+        ):
+            return False
+        state.manifest = manifest
+        self._drain_chunk_buffer(origin, round_, state)
+        return True
+
+    def _on_chunk(self, src: NodeId, msg: BlockChunkMsg) -> None:
+        if not self._prefix or src != msg.origin:
+            return
+        chunk = msg.chunk
+        if chunk.proposer != msg.origin or chunk.round != msg.round:
+            return
+        self._accept_chunk(msg.origin, msg.round, chunk)
+
+    def _accept_chunk(self, origin: NodeId, round_: Round, chunk: BlockChunk) -> None:
+        state = self.instance(origin, round_)
+        if state.manifest is None:
+            # Can't verify yet: buffer first-seen chunks until the manifest
+            # (bound to the certified vertex) arrives.
+            buf = state.chunk_buffer
+            if buf is None:
+                buf = state.chunk_buffer = {}
+            buf.setdefault(chunk.index, chunk)
+            return
+        if not state.manifest.verify_chunk(chunk):
+            return
+        chunks = state.chunks
+        if chunks is None:
+            chunks = state.chunks = {}
+        if chunk.index in chunks:
+            return
+        chunks[chunk.index] = chunk
+        self._notify_chunks(origin, round_, state)
+
+    def _drain_chunk_buffer(
+        self, origin: NodeId, round_: Round, state: VertexInstance
+    ) -> None:
+        """Manifest just arrived: verify buffered chunks, then notify."""
+        buf = state.chunk_buffer
+        state.chunk_buffer = None
+        if buf:
+            chunks = state.chunks
+            if chunks is None:
+                chunks = state.chunks = {}
+            for index in sorted(buf):
+                chunk = buf[index]
+                if index not in chunks and state.manifest.verify_chunk(chunk):
+                    chunks[index] = chunk
+        self._notify_chunks(origin, round_, state)
+
+    def _notify_chunks(self, origin: NodeId, round_: Round, state: VertexInstance) -> None:
+        key = (origin, round_)
+        entry = self._chunk_fetch.get(key)
+        if entry is not None and self._fetch_satisfied(state, entry["k"]):
+            timer = entry["timer"]
+            if timer is not None:
+                timer.cancel()
+            del self._chunk_fetch[key]
+        if self.on_chunk is not None:
+            self.on_chunk(origin, round_)
+
+    def held_prefix(self, origin: NodeId, round_: Round) -> int:
+        """Contiguous verified chunks held from index 0 (0 without manifest)."""
+        state = self.instances.get((origin, round_))
+        if state is None or state.manifest is None:
+            return 0
+        chunks = state.chunks
+        if not chunks:
+            return 0
+        held = 0
+        total = state.manifest.num_chunks
+        while held < total and held in chunks:
+            held += 1
+        return held
+
+    def prefix_parts(
+        self, origin: NodeId, round_: Round
+    ) -> tuple[ChunkManifest | None, dict[int, BlockChunk]]:
+        """The manifest and verified chunks this node holds for an instance."""
+        state = self.instances.get((origin, round_))
+        if state is None:
+            return None, {}
+        return state.manifest, dict(state.chunks) if state.chunks else {}
+
+    def _fetch_satisfied(self, state: VertexInstance, k: int) -> bool:
+        if state.manifest is None:
+            return False
+        chunks = state.chunks
+        if k and not chunks:
+            return False
+        return all(i in chunks for i in range(k)) if k else True
+
+    def fetch_chunks(
+        self, origin: NodeId, round_: Round, k: int, holders: list[NodeId]
+    ) -> None:
+        """Pull chunks [0, k) from ``holders`` (attesters of at least k)."""
+        key = (origin, round_)
+        state = self.instance(origin, round_)
+        if self._fetch_satisfied(state, k):
+            return
+        entry = self._chunk_fetch.get(key)
+        if entry is None:
+            self._chunk_fetch[key] = {
+                "k": k, "holders": list(holders), "next": 0,
+                "timeout": self.retry_timeout, "timer": None,
+            }
+            self._request_chunks(key)
+            return
+        entry["k"] = max(entry["k"], k)
+        for holder in holders:
+            if holder not in entry["holders"]:
+                entry["holders"].append(holder)
+
+    def _request_chunks(self, key: Key) -> None:
+        entry = self._chunk_fetch.get(key)
+        if entry is None:
+            return
+        origin, round_ = key
+        state = self.instance(origin, round_)
+        if self._fetch_satisfied(state, entry["k"]) or not entry["holders"]:
+            del self._chunk_fetch[key]
+            return
+        holders = entry["holders"]
+        target = holders[entry["next"] % len(holders)]
+        entry["next"] += 1
+        chunks = state.chunks
+        requested = False
+        for index in range(entry["k"]):
+            if chunks is None or index not in chunks:
+                requested = True
+                self.network.send(
+                    self.node_id, target, ChunkRequestMsg(origin, round_, index)
+                )
+        if not requested:
+            # All k chunks held but the manifest is missing (bare-vertex
+            # pull, or k=0): probe index 0 — responses carry the manifest.
+            self.network.send(self.node_id, target, ChunkRequestMsg(origin, round_, 0))
+        entry["timer"] = self.sim.schedule(entry["timeout"], self._request_chunks, key)
+        entry["timeout"] = min(entry["timeout"] * 1.5, 30.0)
+
+    def _on_chunk_request(self, src: NodeId, msg: ChunkRequestMsg) -> None:
+        if not self._prefix:
+            return
+        mark = (msg.origin, msg.round, msg.index, src)
+        if mark in self._chunk_served:
+            return  # serve-once per (instance, index, requester)
+        state = self.instances.get((msg.origin, msg.round))
+        if state is None or state.manifest is None:
+            return
+        chunk = state.chunks.get(msg.index) if state.chunks else None
+        if chunk is None and msg.index != 0:
+            return  # manifest-only answers only for the index-0 probe
+        self._chunk_served.add(mark)
+        self.network.send(
+            self.node_id, src,
+            ChunkResponseMsg(msg.origin, msg.round, chunk, state.manifest),
+        )
+
+    def _on_chunk_response(self, src: NodeId, msg: ChunkResponseMsg) -> None:
+        if not self._prefix:
+            return
+        state = self.instances.get((msg.origin, msg.round))
+        if state is None:
+            return
+        if msg.manifest is not None and state.manifest is None:
+            if self._try_accept_manifest(msg.origin, msg.round, state, msg.manifest):
+                # A late manifest can unblock this clan member's ECHO.
+                self._maybe_echo(msg.origin, msg.round, state)
+        chunk = msg.chunk
+        if chunk is None:
+            return
+        if chunk.proposer != msg.origin or chunk.round != msg.round:
+            return
+        self._accept_chunk(msg.origin, msg.round, chunk)
+
     # -- housekeeping ---------------------------------------------------------------
 
     def gc_below(self, round_: Round) -> None:
@@ -576,16 +945,40 @@ class VertexRbc:
         self._vertex_retriever.gc_below(round_)
         self._block_responder.gc_below(round_)
         self._vertex_responder.gc_below(round_)
+        for key in [k for k in self._chunk_fetch if k[1] < round_]:
+            timer = self._chunk_fetch.pop(key)["timer"]
+            if timer is not None:
+                timer.cancel()
+        self._chunk_served = {m for m in self._chunk_served if m[1] >= round_}
 
     def suspend_timers(self) -> None:
         """Crash: stop all local retry timers (no requests from the grave)."""
         self._block_retriever.suspend()
         self._vertex_retriever.suspend()
+        if self._optimistic:
+            for state in self.instances.values():
+                self._cancel_fallback(state)
+        for entry in self._chunk_fetch.values():
+            if entry["timer"] is not None:
+                entry["timer"].cancel()
+                entry["timer"] = None
 
     def resume_timers(self) -> None:
         """Recovery: restart suspended pulls."""
         self._block_retriever.resume()
         self._vertex_retriever.resume()
+        if self._optimistic:
+            # A recovering node has no idea how long it was down; give up on
+            # the fast path for every instance that was in flight.
+            for key in sorted(self.instances):
+                state = self.instances[key]
+                if state.vertex_delivered or state.pessimistic:
+                    continue
+                if state.vertex is not None or state.echoes:
+                    self._fall_back(key[0], key[1], state, "timeout")
+        for key in sorted(self._chunk_fetch):
+            if key in self._chunk_fetch:
+                self._request_chunks(key)
 
     def _lookup_block(self, origin: NodeId, round_: Round) -> Block | None:
         state = self.instances.get((origin, round_))

@@ -45,6 +45,13 @@ class Vertex:
     weak_edges: tuple[VertexRef, ...] = ()
     nvc: Any | None = None  # no-vote certificate for round-1 (if any)
     tc: Any | None = None  # timeout certificate for round-1 (if any)
+    #: Prefix dissemination (rbc_mode="prefix"): how many chunks the block
+    #: was split into (0 = unchunked), the manifest digest binding that
+    #: chunking, and this proposer's attestations of partially-held parent
+    #: blocks as (proposer, held-chunk-count) pairs (omitted pairs = full).
+    block_chunks: int = 0
+    chunk_root: bytes | None = None
+    prefix_votes: tuple[tuple[NodeId, int], ...] = ()
     #: Lazily computed digest cache (performance: digests are requested on
     #: every ECHO-quorum check).  Not part of equality or repr.
     _digest_cache: bytes | None = field(
@@ -64,19 +71,35 @@ class Vertex:
                 raise DagError(
                     f"weak edge to round {ref.round} from round {self.round}"
                 )
+        if self.block_chunks:
+            if self.block_digest is None:
+                raise DagError("chunked vertex must carry a block digest")
+            if self.chunk_root is None:
+                raise DagError("chunked vertex must carry a chunk root")
+        elif self.chunk_root is not None:
+            raise DagError("chunk_root requires block_chunks")
 
     def vertex_digest(self) -> bytes:
         cached = self._digest_cache
         if cached is not None:
             return cached
-        value = digest(
+        parts = [
             b"vertex",
             self.round,
             self.source,
             self.block_digest if self.block_digest is not None else b"",
             *[e.digest for e in self.strong_edges],
             *[e.digest for e in self.weak_edges],
-        )
+        ]
+        # Prefix-mode fields are appended only when set, so unchunked
+        # vertices keep their historical digests bit for bit.
+        if self.block_chunks:
+            parts += (b"chunks", self.block_chunks, self.chunk_root)
+        if self.prefix_votes:
+            parts.append(b"votes")
+            for voter, held in self.prefix_votes:
+                parts += (voter, held)
+        value = digest(*parts)
         object.__setattr__(self, "_digest_cache", value)
         return value
 
@@ -97,6 +120,9 @@ class Vertex:
             size += getattr(self.nvc, "wire_size", lambda: sizes.HASH_SIZE)()
         if self.tc is not None:
             size += getattr(self.tc, "wire_size", lambda: sizes.HASH_SIZE)()
+        if self.block_chunks:
+            size += 2 + sizes.HASH_SIZE  # chunk count + chunk root
+        size += len(self.prefix_votes) * 6  # (voter, held-count) pairs
         return size
 
     # RBC payload protocol --------------------------------------------------

@@ -79,6 +79,8 @@ class MonitorSuite:
         self._exec_diverged: set[int] = set()
         # Equivocation collector state.
         self._equivocations: set[tuple[int, int]] = set()
+        # Prefix-commit observer state: (round, source) pairs already flagged.
+        self._truncated_prefixes: set[tuple[int, int]] = set()
 
     # -- attachment ---------------------------------------------------------
 
@@ -113,6 +115,7 @@ class MonitorSuite:
                     n, origin, round_, count
                 )
             )
+            node.on_prefix = self._on_prefix
         return self
 
     def attach_runtime(self, runtime) -> "MonitorSuite":
@@ -273,6 +276,33 @@ class MonitorSuite:
         self._raise(
             "rbc.equivocation", "byzantine", origin, now,
             round=round_, observer=observer, conflicting=count,
+        )
+
+    # -- prefix-commit observer ---------------------------------------------
+
+    def _on_prefix(self, node, vertex, k: int) -> None:
+        """Certified-prefix commit decisions (prefix RBC mode only).
+
+        A truncated commit is expected behaviour under a slow or withholding
+        proposer — the rule exists so the round need not stall — but it is
+        forensically interesting: the anomaly attributes the proposer whose
+        tail never achieved clan availability."""
+        now = self._now()
+        observer = node.node_id
+        self.recorder.note(
+            observer, now, "prefix",
+            round=vertex.round, source=vertex.source, committed=k,
+        )
+        if k >= vertex.block_chunks:
+            return
+        key = (vertex.round, vertex.source)
+        if key in self._truncated_prefixes:
+            return
+        self._truncated_prefixes.add(key)
+        self._raise(
+            "prefix.truncated_commit", "info", vertex.source, now,
+            round=vertex.round, committed=k, chunks=vertex.block_chunks,
+            observer=observer,
         )
 
     # -- end of run ---------------------------------------------------------

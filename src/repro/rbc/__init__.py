@@ -12,6 +12,12 @@ the simulated network:
   rest, READY requires 2f+1 ECHOs with ≥ f_c+1 from the clan.
 * :class:`~repro.rbc.tribe_two_round.TribeTwoRoundRbc` — the paper's Fig. 3:
   2-round tribe-assisted RBC with signed ECHOs and an ``EC_r(m)`` certificate.
+* :class:`~repro.rbc.optimistic.OptimisticRbc` — signature-free optimistic
+  fast path: delivers after VAL+ECHO (2δ) when all n parties echo one digest,
+  falling back to the Bracha READY path on conflict, timeout, or any READY.
+
+:mod:`repro.rbc.prefix` adds Raptr-style chunked dissemination (manifests,
+chunk splitting/reassembly) used by the consensus layer's prefix commits.
 
 Clan members that reach delivery without the payload pull it from clan
 members known to hold it (:mod:`repro.rbc.retrieval`), exactly as §3 allows.
@@ -19,6 +25,8 @@ members known to hold it (:mod:`repro.rbc.retrieval`), exactly as §3 allows.
 
 from .base import Delivery, Membership, RbcProtocol
 from .bracha import BrachaRbc
+from .optimistic import OptimisticRbc
+from .prefix import BlockChunk, ChunkManifest, assemble_prefix, split_block
 from .tribe_bracha import TribeBrachaRbc
 from .tribe_two_round import TribeTwoRoundRbc
 from .two_round import TwoRoundRbc
@@ -31,4 +39,9 @@ __all__ = [
     "TribeBrachaRbc",
     "TwoRoundRbc",
     "TribeTwoRoundRbc",
+    "OptimisticRbc",
+    "BlockChunk",
+    "ChunkManifest",
+    "assemble_prefix",
+    "split_block",
 ]

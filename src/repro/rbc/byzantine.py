@@ -13,9 +13,25 @@ from ..crypto.signatures import Pki
 from ..errors import BroadcastError
 from ..net.network import Network
 from ..types import NodeId, Round
-from .base import Membership, payload_digest
+from .base import Membership, RbcProtocol, payload_digest
 from .messages import ValMsg
 from .tribe_two_round import val_statement
+
+
+def silence(module: RbcProtocol) -> None:
+    """Turn an RBC module into a silent (Byzantine-mute) party.
+
+    The party stays on the membership roll but never echoes, readies, or
+    serves pulls — the cheapest Byzantine behaviour, and the one that
+    starves optimistic all-to-all fast paths.  Re-registers a drop-all
+    handler because the network captured the original bound method.
+    """
+    def _drop(*_args, **_kwargs) -> None:
+        return None
+
+    module.broadcast = _drop
+    module.on_message = _drop
+    module.network.register(module.node_id, _drop)
 
 
 def send_equivocating_vals(

@@ -1,0 +1,204 @@
+"""Optimistic signature-free reliable broadcast (good case: 2 rounds).
+
+The fast path piggybacks on the Bracha message flow but skips READY: when
+*all n* parties ECHO the same digest — so every party provably saw the same
+VAL and every clan member holds the payload — the instance delivers after
+just VAL + ECHO (2δ), one message delay ahead of the pessimistic 3δ path.
+
+An instance abandons the fast path ("falls back") and completes through the
+inherited :class:`~repro.rbc.tribe_bracha.TribeBrachaRbc` READY path when
+the all-to-all agreement is no longer attainable or timely:
+
+* **conflict** — a second digest shows up in a VAL or an ECHO (equivocating
+  sender, or honest parties echoing different values);
+* **timeout** — the per-instance fallback timer fires before all n ECHOs
+  arrive (lossy links, partitions, crashed or silent parties);
+* **ready** — any READY is received, meaning some other party already fell
+  back; joining immediately keeps the pessimistic quorum moving at network
+  speed instead of waiting for the local timer.
+
+Safety of the fast path: delivering d on all-n ECHOs means every honest
+party echoed d, and parties echo at most once, so no conflicting digest can
+ever gather an ECHO (hence READY) quorum — fast and fallback deliveries
+cannot diverge.  Totality: if any party fast-delivers d, every honest party
+echoed d; parties that miss the all-n condition fall back by timer and the
+2f+1 honest ECHOs they already share complete the READY path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net.network import Network
+from ..sim.scheduler import EventHandle, Simulator
+from ..types import NodeId, Round
+from .base import DeliverFn, InstanceKey, InstanceState, Membership
+from .messages import EchoMsg, ReadyMsg, ValMsg
+from .tribe_bracha import TribeBrachaRbc
+
+
+class OptimisticRbc(TribeBrachaRbc):
+    """Per-node module for the optimistic fast-path protocol.
+
+    Args:
+        fallback_timeout: how long an instance waits for the all-to-all ECHO
+            agreement (armed on its first VAL or ECHO) before switching to
+            the pessimistic READY path.  Pick it above one retransmission
+            round-trip of the underlying transport so transient loss the
+            reliable channel can mask does not force a fallback.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        membership: Membership,
+        network: Network,
+        sim: Simulator,
+        on_deliver: DeliverFn,
+        early_fetch: bool = True,
+        retry_timeout: float = 0.5,
+        fallback_timeout: float = 0.5,
+        register: bool = True,
+        tracer=None,
+    ) -> None:
+        super().__init__(
+            node_id, membership, network, sim, on_deliver,
+            early_fetch=early_fetch, retry_timeout=retry_timeout,
+            register=register, tracer=tracer,
+        )
+        self.fallback_timeout = fallback_timeout
+        #: Instances that abandoned the fast path (complete via READY).
+        self._pessimistic: set[InstanceKey] = set()
+        self._fallback_timers: dict[InstanceKey, EventHandle] = {}
+        self.fast_deliveries = 0
+        self.fallback_deliveries = 0
+        #: Fallback trigger counts by reason ("conflict"/"timeout"/"ready").
+        self.fallbacks: dict[str, int] = {}
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_val(self, src: NodeId, msg: ValMsg) -> None:
+        if src != msg.origin:
+            return
+        state = self.instance(msg.origin, msg.round)
+        key = (msg.origin, msg.round)
+        if not state.delivered and key not in self._pessimistic:
+            self._arm_fallback(key)
+        super()._on_val(src, msg)
+        if state.conflicting and not state.delivered and key not in self._pessimistic:
+            self._fall_back(msg.origin, msg.round, state, "conflict")
+
+    def _on_echo(self, src: NodeId, msg: EchoMsg) -> None:
+        state = self.instance(msg.origin, msg.round)
+        key = (msg.origin, msg.round)
+        if not state.delivered and key not in self._pessimistic:
+            self._arm_fallback(key)
+        super()._on_echo(src, msg)
+        if (
+            (len(state.echoes) > 1 or state.conflicting)
+            and not state.delivered
+            and key not in self._pessimistic
+        ):
+            self._fall_back(msg.origin, msg.round, state, "conflict")
+
+    def _on_ready(self, src: NodeId, msg: ReadyMsg) -> None:
+        # A READY proves some party already fell back; join its pessimistic
+        # quorum right away rather than waiting out the local timer.
+        state = self.instance(msg.origin, msg.round)
+        key = (msg.origin, msg.round)
+        if not state.delivered and key not in self._pessimistic:
+            self._fall_back(msg.origin, msg.round, state, "ready")
+        elif (
+            state.delivered
+            and state.ready_digest is None
+            and state.delivered_digest is not None
+        ):
+            # Totality: this node delivered on the fast path (it never entered
+            # the READY phase), but a peer fell back and now needs 2f+1
+            # READYs.  Answer with our own READY for the delivered digest —
+            # without it, a lone faller could wait forever while everyone
+            # else sits on a completed fast-path instance.
+            state.ready_digest = state.delivered_digest
+            self.network.broadcast(
+                self.node_id,
+                ReadyMsg(msg.origin, msg.round, state.delivered_digest),
+            )
+        super()._on_ready(src, msg)
+
+    def _check_echo_quorum(
+        self, origin: NodeId, round_: Round, digest_: bytes, state: InstanceState
+    ) -> None:
+        if (origin, round_) in self._pessimistic:
+            super()._check_echo_quorum(origin, round_, digest_, state)
+            return
+        if state.delivered or len(state.echoes) > 1 or state.conflicting:
+            return
+        supporters = state.echoes.get(digest_, ())
+        if len(supporters) == self.membership.n:
+            # Unanimous ECHO: every clan member echoed only after holding the
+            # payload, so a clan member (self included) already has it.
+            self._deliver(origin, round_, state, digest_)
+
+    # -- fallback machinery ------------------------------------------------
+
+    def _arm_fallback(self, key: InstanceKey) -> None:
+        if key in self._fallback_timers:
+            return
+        self._fallback_timers[key] = self.sim.schedule(
+            self.fallback_timeout, self._on_fallback_timeout, key
+        )
+
+    def _cancel_fallback(self, key: InstanceKey) -> None:
+        handle = self._fallback_timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _on_fallback_timeout(self, key: InstanceKey) -> None:
+        self._fallback_timers.pop(key, None)
+        state = self.instances.get(key)
+        if state is None or state.delivered or key in self._pessimistic:
+            return
+        self._fall_back(key[0], key[1], state, "timeout")
+
+    def _fall_back(
+        self, origin: NodeId, round_: Round, state: InstanceState, reason: str
+    ) -> None:
+        key = (origin, round_)
+        if state.delivered or key in self._pessimistic:
+            return
+        self._pessimistic.add(key)
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        self._cancel_fallback(key)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "rbc.fallback", node=self.node_id, origin=origin,
+                round=round_, reason=reason, time=self.sim.now,
+            )
+        # Replay the quorum check for every digest already echoed: the 2f+1
+        # threshold may long be met while the fast path was holding out for
+        # all n.
+        for digest_ in sorted(state.echoes):
+            super()._check_echo_quorum(origin, round_, digest_, state)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver(
+        self, origin: NodeId, round_: Round, state: InstanceState, digest_: bytes
+    ) -> None:
+        if state.delivered:
+            return
+        key = (origin, round_)
+        self._cancel_fallback(key)
+        if key in self._pessimistic:
+            self.fallback_deliveries += 1
+        else:
+            self.fast_deliveries += 1
+        super()._deliver(origin, round_, state, digest_)
+
+    # -- introspection -----------------------------------------------------
+
+    def is_pessimistic(self, origin: NodeId, round_: Round) -> bool:
+        return (origin, round_) in self._pessimistic
+
+
+__all__ = ["OptimisticRbc"]

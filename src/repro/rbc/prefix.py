@@ -1,0 +1,236 @@
+"""Raptr-style prefix dissemination: blocks split into certified chunks.
+
+A proposer carves its block into ``C`` contiguous chunks and advertises a
+:class:`ChunkManifest` — the per-chunk digests plus the block metadata —
+whose own digest is bound into the vertex (``Vertex.chunk_root``).  Chunks
+then travel as separate messages, so a voter that received only the head of
+the block can still attest exactly how much it holds: the protocol commits
+the longest commonly-available *prefix* instead of stalling the round on a
+slow or tail-withholding proposer.
+
+Determinism contract: chunk boundaries depend only on ``(txn_count, C)``,
+and :func:`assemble_prefix` rebuilds a prefix block from the manifest alone
+plus the first ``k`` chunks — for ``k = C`` the result is digest-identical
+to the original block, so the full-block path is unchanged byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import digest
+from ..dag.block import Block
+from ..errors import DagError
+from ..net import sizes
+from ..net.message import Message
+from ..types import NodeId, Round
+
+
+@dataclass(frozen=True, slots=True)
+class BlockChunk:
+    """One contiguous slice of a block's transaction list.
+
+    Synthetic blocks yield synthetic chunks (``txns is None``); both kinds
+    report real wire sizes so the bandwidth model stays honest.
+    """
+
+    proposer: NodeId
+    round: Round
+    index: int
+    txns: tuple | None
+    txn_count: int
+    txn_size: int
+
+    def chunk_digest(self) -> bytes:
+        if self.txns is not None:
+            return digest(
+                b"chunk", self.proposer, self.round, self.index,
+                *[t.txn_digest() for t in self.txns],
+            )
+        return digest(
+            b"chunk", self.proposer, self.round, self.index,
+            self.txn_count, self.txn_size,
+        )
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + self.txn_count * self.txn_size
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkManifest:
+    """Binding commitment to a block's chunking.
+
+    ``manifest_digest()`` is what the vertex commits to (``chunk_root``), so
+    an equivocating proposer cannot show different chunkings of the same
+    block digest to different voters.
+    """
+
+    proposer: NodeId
+    round: Round
+    block_digest: bytes
+    chunk_digests: tuple[bytes, ...]
+    chunk_counts: tuple[int, ...]
+    txn_count: int
+    txn_size: int
+    created_at: float
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_digests) != len(self.chunk_counts):
+            raise DagError("manifest chunk digests/counts length mismatch")
+        if sum(self.chunk_counts) != self.txn_count:
+            raise DagError("manifest chunk counts do not sum to txn_count")
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_digests)
+
+    def manifest_digest(self) -> bytes:
+        return digest(
+            b"manifest", self.proposer, self.round, self.block_digest,
+            self.txn_count, self.txn_size, self.created_at,
+            *self.chunk_digests, *self.chunk_counts,
+        )
+
+    def verify_chunk(self, chunk: BlockChunk) -> bool:
+        """True iff ``chunk`` is the committed chunk at its index."""
+        if not 0 <= chunk.index < self.num_chunks:
+            return False
+        if chunk.txn_count != self.chunk_counts[chunk.index]:
+            return False
+        return chunk.chunk_digest() == self.chunk_digests[chunk.index]
+
+    def prefix_txn_count(self, k: int) -> int:
+        """Transactions covered by the first ``k`` chunks."""
+        return sum(self.chunk_counts[:k])
+
+    def wire_size(self) -> int:
+        return (
+            sizes.HEADER_SIZE + sizes.HASH_SIZE
+            + self.num_chunks * (sizes.HASH_SIZE + 4)
+        )
+
+
+def chunk_counts(txn_count: int, num_chunks: int) -> tuple[int, ...]:
+    """Deterministic chunk boundaries: as even as possible, remainder first."""
+    num_chunks = max(1, min(num_chunks, txn_count) if txn_count else 1)
+    base, rem = divmod(txn_count, num_chunks)
+    return tuple(base + (1 if i < rem else 0) for i in range(num_chunks))
+
+
+def split_block(block: Block, num_chunks: int) -> tuple[ChunkManifest, list[BlockChunk]]:
+    """Split ``block`` into at most ``num_chunks`` chunks plus its manifest."""
+    counts = chunk_counts(block.txn_count, num_chunks)
+    chunks: list[BlockChunk] = []
+    offset = 0
+    for index, count in enumerate(counts):
+        txns = None
+        if block.txns is not None:
+            txns = block.txns[offset:offset + count]
+        chunks.append(
+            BlockChunk(
+                proposer=block.proposer, round=block.round, index=index,
+                txns=txns, txn_count=count, txn_size=block.txn_size,
+            )
+        )
+        offset += count
+    manifest = ChunkManifest(
+        proposer=block.proposer,
+        round=block.round,
+        block_digest=block.payload_digest(),
+        chunk_digests=tuple(c.chunk_digest() for c in chunks),
+        chunk_counts=counts,
+        txn_count=block.txn_count,
+        txn_size=block.txn_size,
+        created_at=block.created_at,
+    )
+    return manifest, chunks
+
+
+def assemble_prefix(
+    manifest: ChunkManifest, chunks: dict[int, BlockChunk], k: int
+) -> Block:
+    """Rebuild the block covering chunks ``[0, k)``.
+
+    For ``k == num_chunks`` the result is digest-identical to the block the
+    manifest was split from; smaller ``k`` yields the committed prefix block.
+    Requires the first ``k`` chunks to be present (and assumed verified).
+    """
+    if not 0 <= k <= manifest.num_chunks:
+        raise DagError(f"prefix length {k} outside [0, {manifest.num_chunks}]")
+    prefix = [chunks[i] for i in range(k)]  # KeyError = caller's bug
+    txn_count = manifest.prefix_txn_count(k)
+    if k > 0 and prefix[0].txns is not None:
+        txns = tuple(t for c in prefix for t in c.txns)
+    else:
+        # Synthetic chunks (or an empty prefix): a counted block suffices.
+        txns = None
+    return Block(
+        proposer=manifest.proposer,
+        round=manifest.round,
+        txns=txns,
+        txn_count=txn_count,
+        txn_size=manifest.txn_size,
+        created_at=manifest.created_at,
+    )
+
+
+# -- wire messages ----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class BlockChunkMsg(Message):
+    """⟨CHUNK, i, r⟩ — one block chunk pushed by the proposer to its clan."""
+
+    origin: NodeId
+    round: Round
+    chunk: BlockChunk
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + self.chunk.wire_size()
+
+
+@dataclass(slots=True)
+class ChunkRequestMsg(Message):
+    """Pull request for one missing chunk of ``origin``'s round-``r`` block."""
+
+    origin: NodeId
+    round: Round
+    index: int
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_SIZE + 4
+
+
+@dataclass(slots=True)
+class ChunkResponseMsg(Message):
+    """Pull response: a verified chunk, the manifest, or both.
+
+    The manifest rides along so a clan member that pulled the bare vertex
+    (and thus never saw the VAL manifest) can still verify chunks and
+    assemble the committed prefix; ``chunk`` is ``None`` for manifest-only
+    answers from holders that have no chunks themselves."""
+
+    origin: NodeId
+    round: Round
+    chunk: BlockChunk | None
+    manifest: ChunkManifest | None = None
+
+    def wire_size(self) -> int:
+        size = sizes.HEADER_SIZE
+        if self.chunk is not None:
+            size += self.chunk.wire_size()
+        if self.manifest is not None:
+            size += self.manifest.wire_size()
+        return size
+
+
+__all__ = [
+    "BlockChunk",
+    "ChunkManifest",
+    "chunk_counts",
+    "split_block",
+    "assemble_prefix",
+    "BlockChunkMsg",
+    "ChunkRequestMsg",
+    "ChunkResponseMsg",
+]

@@ -69,9 +69,13 @@ class Executor:
         self._queue.append(vertex)
         self._drain(now)
 
-    def on_block(self, block: Block, now: float) -> None:
-        """Feed a delivered block body."""
-        self._blocks[block.payload_digest()] = block
+    def on_block(self, block: Block, now: float, key: bytes | None = None) -> None:
+        """Feed a delivered block body.
+
+        ``key`` overrides the indexing digest: in prefix mode the executed
+        block is the *decided prefix*, whose own digest differs from the
+        ``vertex.block_digest`` the ordered vertex points at."""
+        self._blocks[key if key is not None else block.payload_digest()] = block
         self._drain(now)
 
     def _drain(self, now: float) -> None:

@@ -73,9 +73,18 @@ class SmrRuntime:
             node.on_ordered = (
                 lambda _node, vertex, now, ex=executor: ex.on_ordered(vertex, now)
             )
-            node.on_block_ready = (
-                lambda _node, block, ex=executor: ex.on_block(block, self.sim.now)
-            )
+            if node.params.rbc_mode == "prefix":
+                # Blocks reach execution only as decided prefixes, keyed by
+                # the ordered vertex's block digest (see SailfishNode).
+                node.on_commit_block = (
+                    lambda _node, key, block, ex=executor: ex.on_block(
+                        block, self.sim.now, key=key
+                    )
+                )
+            else:
+                node.on_block_ready = (
+                    lambda _node, block, ex=executor: ex.on_block(block, self.sim.now)
+                )
 
     def _make_block(self, proposer: NodeId, round_: int, now: float):
         block = self.mempools[proposer].make_block(proposer, round_, now)

@@ -17,6 +17,26 @@ def test_src_tree_has_no_unbaselined_findings():
     assert split.new == (), "\n".join(f.format() for f in split.new)
 
 
+def test_new_rbc_message_modules_are_in_msg001_scope():
+    # The optimistic/prefix RBC modules carry new wire messages
+    # (BlockChunkMsg, ChunkRequestMsg, ChunkResponseMsg, manifest-bearing
+    # VALs); MSG001 must see them — and find nothing — with no baseline
+    # entries grandfathering them in.
+    analyzer = Analyzer()
+    targets = [
+        "src/repro/rbc/optimistic.py",
+        "src/repro/rbc/prefix.py",
+        "src/repro/consensus/messages.py",
+    ]
+    findings = analyzer.run(targets, root=REPO_ROOT)
+    assert analyzer.files_analyzed == len(targets)
+    assert [f for f in findings if f.rule == "MSG001"] == []
+    baseline_path = os.path.join(REPO_ROOT, "analysis_baseline.json")
+    baseline = load_baseline(baseline_path) if os.path.exists(baseline_path) else {}
+    assert not any("rbc/prefix" in path or "rbc/optimistic" in path
+                   for _, path, _ in baseline)
+
+
 def test_gitignore_covers_pycache():
     # scripts/ and benchmarks/ byte-compiled caches must never be committed
     # (or analyzed — the engine prunes them, see SKIP_DIRS).

@@ -63,6 +63,19 @@ class TestScenarioSchema:
         for scenario in ALL_SCENARIOS:
             assert Scenario.from_json(scenario.to_json()) == scenario
 
+    def test_rbc_mode_round_trips_and_validates(self):
+        scenario = Scenario(name="opt", rbc_mode="optimistic")
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        assert scenario.to_dict()["rbc_mode"] == "optimistic"
+        with pytest.raises(ConfigError):
+            Scenario(name="bad-mode", rbc_mode="telepathy")
+
+    def test_library_scenarios_cover_new_modes(self):
+        modes = {s.rbc_mode for s in ALL_SCENARIOS}
+        assert {"optimistic", "prefix"} <= modes
+        kinds = {kind for s in ALL_SCENARIOS for _, kind in s.byzantine}
+        assert {"slow-proposer", "tail-withholder"} <= kinds
+
     def test_load_scenarios_accepts_object_or_list(self):
         one = SMOKE_SCENARIOS[0]
         assert load_scenarios(one.to_json()) == [one]
@@ -135,6 +148,33 @@ class TestRunner:
         assert not result.ok
         assert any(c.name == "liveness.commits" for c in result.failures)
 
+    def test_rbc_mode_scenarios_pass_with_monitors(self):
+        # The three RBC-variant scenarios are part of the CI chaos-smoke
+        # gate: fast-path crossover under loss, certified-prefix commits
+        # under a slow proposer and a tail withholder — all with zero
+        # online safety anomalies.
+        for name in (
+            "optimistic-crossover",
+            "slow-proposer-prefix",
+            "tail-withholder",
+        ):
+            result = run_scenario(get_scenario(name), monitors=True)
+            assert result.ok, [(c.name, c.detail) for c in result.failures]
+        # Shortened spot-checks of the mode-specific stats.
+        opt = run_scenario(
+            replace(get_scenario("optimistic-crossover"), duration=8.0,
+                    min_commits=10)
+        )
+        assert opt.ok
+        assert opt.stats["fast_deliveries"] > 0
+        pre = run_scenario(
+            replace(get_scenario("slow-proposer-prefix"), duration=8.0,
+                    min_commits=10)
+        )
+        assert pre.ok
+        assert pre.stats["prefix_commits"] > 0
+        assert pre.stats["prefix_truncated"] > 0
+
     def test_monitors_observe_without_perturbing(self):
         scenario = replace(get_scenario("drop05"), duration=8.0, min_commits=10)
         plain = run_scenario(scenario)
@@ -155,6 +195,13 @@ class TestChaosCli:
         out = capsys.readouterr().out
         for name in SCENARIOS:
             assert name in out
+        # Grouped listing: the smoke set (the CI gate) is visually separate
+        # from the extended set, and non-default RBC modes are tagged.
+        assert "SMOKE" in out
+        assert "EXTENDED" in out
+        assert out.index("SMOKE") < out.index("drop05") < out.index("EXTENDED")
+        assert "[optimistic]" in out
+        assert "[prefix]" in out
 
     def test_unknown_scenario(self, capsys):
         assert main(["chaos", "not-a-scenario"]) == 2

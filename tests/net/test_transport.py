@@ -106,6 +106,43 @@ class TestReliability:
         # Schedule: 0.25+0.5+1+2+2+... → roughly (20-1.75)/2 + 4 tries.
         assert 10 <= transport.retransmissions <= 14
 
+    def test_retransmission_across_heal_no_duplicates(self):
+        # A burst sent into a partition must survive the heal exactly once —
+        # even with a duplicating link — with the backoff cap bounding the
+        # retransmission rate while the peer is unreachable, and the
+        # receiver's watermark suppressing every late wire copy afterwards.
+        from repro.net.faults import CompositeFault
+
+        faults = CompositeFault([
+            PartitionAdversary([partition(0.0, 6.0, {0})]),
+            LossyLink(0.0, duplicate_prob=0.3, seed=9),
+        ])
+        sim, net, transport, inbox = make_transport(
+            faults=faults, ack_timeout=0.25, backoff=2.0, max_timeout=1.0
+        )
+        for tag in range(5):
+            transport.send(0, 1, Blob(tag=tag))
+        sim.run(until=5.9)
+        assert inbox[1] == []
+        # Cap respected: per message, retries at 0.25, 0.75, 1.75 then every
+        # 1.0 s — 7 each by t=5.9, never the uncapped exponential silence
+        # (4) nor an uncapped flood.
+        assert transport.retransmissions == 5 * 7
+        sim.run(until=8.0)
+        tags = [m.tag for _, _, m in inbox[1]]
+        assert sorted(tags) == list(range(5))
+        assert len(tags) == len(set(tags)), "duplicate delivered after heal"
+        # New traffic after the watermark advanced: still exactly-once, and
+        # the duplicating link's extra copies are all suppressed.
+        for tag in range(5, 10):
+            transport.send(0, 1, Blob(tag=tag))
+        sim.run()
+        tags = [m.tag for _, _, m in inbox[1]]
+        assert sorted(tags) == list(range(10))
+        assert len(tags) == len(set(tags))
+        assert transport.duplicates_suppressed > 0
+        assert transport.unacked_count() == 0
+
     def test_loopback_bypasses_wrapping(self):
         sim, net, transport, inbox = make_transport(faults=LossyLink(0.9, seed=1))
         transport.send(2, 2, Blob(tag=9))

@@ -9,6 +9,7 @@ from repro.net.latency import UniformLatencyModel
 from repro.net.network import Network
 from repro.rbc.base import Membership
 from repro.rbc.bracha import BrachaRbc
+from repro.rbc.optimistic import OptimisticRbc
 from repro.rbc.tribe_bracha import TribeBrachaRbc
 from repro.rbc.tribe_two_round import TribeTwoRoundRbc
 from repro.rbc.two_round import TwoRoundRbc
@@ -37,6 +38,10 @@ class Harness:
                     module = BrachaRbc(i, n, self.net, self.sim, on_deliver)
                 else:
                     module = TwoRoundRbc(i, n, self.net, self.sim, self.pki, on_deliver)
+            elif protocol is OptimisticRbc:
+                module = OptimisticRbc(
+                    i, self.membership, self.net, self.sim, on_deliver, **kwargs
+                )
             elif protocol is TribeBrachaRbc:
                 module = TribeBrachaRbc(
                     i, self.membership, self.net, self.sim, on_deliver, **kwargs
