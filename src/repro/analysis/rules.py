@@ -22,6 +22,9 @@ MSG002 (error)    assignment to a message's fields after it was passed to
 SIM001 (warning)  float ``==`` / ``!=`` on simulated-time values
 OBS001 (warning)  tracer emission inside a loop without an
                   ``if ...tracer.enabled:`` guard
+DAG001 (warning)  full-round DAG scan (``round_vertices`` /
+                  ``uncovered_before``) inside a per-item loop in
+                  ``repro.dag`` / ``repro.consensus``
 ================  ==========================================================
 """
 
@@ -605,6 +608,81 @@ class UnguardedTracerRule:
         return False
 
 
+#: DagStore methods that materialize a whole round's vertex dict per call.
+_ROUND_SCANS = frozenset({"round_vertices", "uncovered_before"})
+
+
+class RoundScanInLoopRule:
+    """DAG001: no full-round DAG scans inside per-item loops.
+
+    ``DagStore.round_vertices`` / ``uncovered_before`` materialize a list of
+    O(n) vertices per call.  Called once per round they are fine (that is
+    their job); called inside a loop over vertices/messages they silently
+    turn an O(n) pass into O(n²) — the per-round quadratic work the bitmap
+    edge store exists to avoid.  Hoist the scan out of the loop, or use the
+    store's mask-based queries (``num_in_round``, ``strong_path_exists``,
+    ``causal_history``) that answer without materializing the round.
+
+    Loops over ``range(...)`` are exempt: iterating *rounds* and scanning
+    each once is the intended batch pattern (sync serves round batches that
+    way).  Scoped to ``repro/dag`` and ``repro/consensus`` — the layers that
+    touch the store on the simulation hot path.
+    """
+
+    rule_id = "DAG001"
+    severity = "warning"
+    summary = "full-round DAG scan inside a per-item loop"
+
+    _PATHS = ("repro/dag/", "repro/consensus/")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if not any(part in normalized for part in self._PATHS):
+            return
+        for node in ctx.nodes(ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _ROUND_SCANS:
+                continue
+            in_item_loop = False
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, (ast.For, ast.AsyncFor)):
+                    # A scan in the loop's *iterable* runs once, before the
+                    # loop body; only body/else placement repeats per item.
+                    if self._within(ancestor.iter, node):
+                        continue
+                    if not self._iterates_range(ancestor):
+                        in_item_loop = True
+                elif isinstance(ancestor, ast.While):
+                    in_item_loop = True
+                elif isinstance(
+                    ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    break
+            if in_item_loop:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{node.func.attr}(...)` materializes a whole round's "
+                    "vertices on every iteration of the enclosing loop "
+                    "(O(n) per item -> O(n²) per pass); hoist the scan "
+                    "out of the loop or use the store's mask-based queries",
+                )
+
+    @staticmethod
+    def _within(subtree: ast.AST, node: ast.AST) -> bool:
+        return any(child is node for child in ast.walk(subtree))
+
+    @staticmethod
+    def _iterates_range(loop: ast.For | ast.AsyncFor) -> bool:
+        iter_ = loop.iter
+        return (
+            isinstance(iter_, ast.Call)
+            and isinstance(iter_.func, ast.Name)
+            and iter_.func.id == "range"
+        )
+
+
 def default_rules() -> list[Rule]:
     """The shipped rule pack, in rule-id order."""
     return [
@@ -616,4 +694,5 @@ def default_rules() -> list[Rule]:
         MutateAfterSendRule(),
         SimTimeEqualityRule(),
         UnguardedTracerRule(),
+        RoundScanInLoopRule(),
     ]

@@ -43,6 +43,11 @@ class ExperimentConfig:
             :class:`~repro.consensus.params.ProtocolParams`); lets sweeps
             compare the optimistic fast path and the certified-prefix rule
             against the signed two-round baseline.
+        edge_mode: "full" (paper baseline) or "sparse" (Clownfish-style
+            reduced strong-edge fan-out with the compensating any-edge
+            commit rule; see :class:`~repro.consensus.params.ProtocolParams`).
+        edge_fanout: strong edges per non-leader vertex in sparse mode
+            (0 = auto ~log2 n).
     """
 
     protocol: str
@@ -62,6 +67,8 @@ class ExperimentConfig:
     duplicate_rate: float = 0.0
     reliable: bool = False
     rbc_mode: str = "two-round"
+    edge_mode: str = "full"
+    edge_fanout: int = 0
 
     def clan_config(self) -> ClanConfig:
         if self.protocol == "sailfish":
@@ -120,6 +127,8 @@ def _simulate(
         rbc_mode=config.rbc_mode,
         verify_signatures=False,
         leader_timeout=config.leader_timeout,
+        edge_mode=config.edge_mode,
+        edge_fanout=config.edge_fanout,
     )
     cpu = CpuModel(per_message=config.cpu_per_message) if config.cpu_per_message else None
     faults = None

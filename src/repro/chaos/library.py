@@ -153,6 +153,21 @@ EXTENDED_SCENARIOS = (
         extra={"expect_prefix": True},
     ),
     Scenario(
+        name="sparse-edges",
+        description="Sparse strong edges (Clownfish-style fan-out) under 3% "
+        "loss plus a crash/recover: the compensating any-edge commit rule "
+        "must keep every honest log prefix-consistent and the recovered "
+        "node must catch up over the thinner DAG.",
+        n=8,
+        duration=40.0,
+        edge_mode="sparse",
+        drop_prob=0.03,
+        crashes=(CrashSpec(node=5, down_at=6.0, up_at=18.0),),
+        seed=34,
+        min_commits=50,
+        max_round_lag=10,
+    ),
+    Scenario(
         name="byz_equivocator_partition",
         description="An equivocating proposer during a partition: RBC must "
         "block a split delivery even while the network is split.",

@@ -131,6 +131,8 @@ def build_deployment(
             rbc_mode=scenario.rbc_mode,
             leader_timeout=scenario.leader_timeout,
             verify_signatures=False,
+            edge_mode=scenario.edge_mode,
+            edge_fanout=scenario.edge_fanout,
         ),
         make_block=workload.make_block,
         seed=scenario.seed,

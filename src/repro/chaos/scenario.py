@@ -32,6 +32,10 @@ BYZANTINE_KINDS = (
 #: :class:`repro.consensus.params.ProtocolParams`).
 RBC_MODES = ("two-round", "bracha", "optimistic", "prefix")
 
+#: Edge policies a scenario may select (kept in lockstep with
+#: :class:`repro.consensus.params.ProtocolParams`).
+EDGE_MODES = ("full", "sparse")
+
 
 @dataclass(frozen=True)
 class PartitionSpec:
@@ -94,6 +98,11 @@ class Scenario:
     #: scenarios are how the optimistic fast-path crossover and the
     #: certified-prefix commit rule are exercised under faults.
     rbc_mode: str = "two-round"
+    #: Strong-edge policy (from :data:`EDGE_MODES`) — the sparse-edge
+    #: scenarios gate the compensating commit rule under faults.
+    edge_mode: str = "full"
+    #: Sparse fan-out (0 = auto ~log2 n).
+    edge_fanout: int = 0
     # -- faults -------------------------------------------------------------
     drop_prob: float = 0.0
     duplicate_prob: float = 0.0
@@ -123,6 +132,12 @@ class Scenario:
             raise ConfigError(
                 f"unknown rbc_mode {self.rbc_mode!r}; choose from {RBC_MODES}"
             )
+        if self.edge_mode not in EDGE_MODES:
+            raise ConfigError(
+                f"unknown edge_mode {self.edge_mode!r}; choose from {EDGE_MODES}"
+            )
+        if self.edge_fanout < 0:
+            raise ConfigError("edge_fanout cannot be negative")
         for node, kind in self.byzantine:
             if kind not in BYZANTINE_KINDS:
                 raise ConfigError(

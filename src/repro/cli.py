@@ -83,6 +83,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.duration,
         warmup=min(args.duration / 3.0, 3.0),
         rbc_mode=args.rbc,
+        edge_mode=args.edges,
+        edge_fanout=args.edge_fanout,
     )
     metrics = run_experiment(config)
     print(format_table([
@@ -110,6 +112,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             duration=args.duration,
             warmup=min(args.duration / 3.0, 3.0),
             rbc_mode=args.rbc,
+            edge_mode=args.edges,
+            edge_fanout=args.edge_fanout,
         )
         metrics = run_experiment(config)
         rows.append({"load": load, **metrics.row()})
@@ -383,7 +387,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ):
             print(title)
             for scenario in group:
-                mode = "" if scenario.rbc_mode == "two-round" else f" [{scenario.rbc_mode}]"
+                tags = [
+                    tag
+                    for tag in (
+                        scenario.rbc_mode if scenario.rbc_mode != "two-round" else "",
+                        scenario.edge_mode if scenario.edge_mode != "full" else "",
+                    )
+                    if tag
+                ]
+                mode = f" [{','.join(tags)}]" if tags else ""
                 print(f"  {scenario.name + mode:30s} {scenario.description}")
             print()
         return 0
@@ -491,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--rbc", default="two-round",
             choices=["two-round", "bracha", "optimistic", "prefix"],
             help="RBC variant for vertex dissemination (docs/FAULTS.md)",
+        )
+        p.add_argument(
+            "--edges", default="full", choices=["full", "sparse"],
+            help="strong-edge policy: full (paper) or sparse "
+            "(Clownfish-style fan-out with the any-edge commit rule)",
+        )
+        p.add_argument(
+            "--edge-fanout", type=int, default=0,
+            help="strong edges per non-leader vertex in sparse mode "
+            "(0 = auto ~log2 n)",
         )
 
     run = sub.add_parser("run", help="simulate one configuration")

@@ -36,6 +36,7 @@ from ..dag.vertex import Vertex, VertexRef
 from ..errors import ConsensusError
 from ..net.network import Network
 from ..rbc.prefix import assemble_prefix, split_block
+from ..sim.rng import make_rng
 from ..sim.scheduler import Simulator
 from ..sim.timers import Timer
 from ..types import NodeId, Round
@@ -89,6 +90,11 @@ class SailfishNode:
         self.tracer = tracer if tracer is not None else network.tracer
         self._round_entered_at: float | None = None
 
+        #: Sparse-edge mode (Clownfish-style): non-leader vertices reference
+        #: only the previous leader plus a deterministic sample of targets.
+        self._sparse = params.edge_mode == "sparse"
+        self._fanout = params.fanout_for(clan_cfg.n)
+
         self.store = DagStore(clan_cfg.n)
         self.ordering = OrderingEngine(self.store)
         self.rbc = VertexRbc(
@@ -106,6 +112,7 @@ class SailfishNode:
             fallback_timeout=params.fallback_timeout,
             schedule=clan_schedule,
             tracer=self.tracer,
+            edge_mode=params.edge_mode,
         )
 
         # Prefix mode (Raptr-style certified-prefix commits): chunked
@@ -210,10 +217,16 @@ class SailfishNode:
             return
         self._proposed.add(round_)
         strong = self._strong_edges(round_)
-        if round_ > 1 and len(strong) < self.cfg.quorum:
+        # Sparse mode trims a quorum's worth of delivered vertices down to
+        # the fan-out, so the per-vertex floor drops with it; _try_advance
+        # still gates round entry on a full quorum of deliveries.
+        required = self.cfg.quorum
+        if self._sparse and self.schedule.leader(round_) != self.node_id:
+            required = min(required, self._fanout)
+        if round_ > 1 and len(strong) < required:
             raise ConsensusError(
                 f"node {self.node_id} proposing round {round_} with "
-                f"{len(strong)} strong edges < quorum {self.cfg.quorum}"
+                f"{len(strong)} strong edges < required {required}"
             )
         weak = tuple(
             v.ref()
@@ -268,7 +281,42 @@ class SailfishNode:
                 drop_leader = True
             if drop_leader:
                 vertices = [v for v in vertices if v.source != leader]
+                leader = None
+        if (
+            self._sparse
+            and round_ > 1
+            and len(vertices) > self._fanout
+            and self.schedule.leader(round_) != self.node_id
+        ):
+            # Leader vertices keep full edges: the leader chain is the
+            # deterministic backbone the indirect-commit walk rides (each
+            # leader's full edge set includes the previous usable leader).
+            vertices = self._sparse_select(round_, vertices, leader)
         return tuple(v.ref() for v in sorted(vertices, key=lambda v: v.source))
+
+    def _sparse_select(
+        self, round_: Round, vertices: list[Vertex], leader: NodeId | None
+    ) -> list[Vertex]:
+        """Pick ``edge_fanout`` strong targets deterministically.
+
+        The preference order is a per-(round, proposer) permutation drawn
+        from the shared leader-schedule RNG stream, so any replica can
+        recompute (and audit) the choice; the usable leader vertex is always
+        kept — dropping it would drop this proposer's vote.
+        """
+        rng = make_rng(
+            self.schedule.seed, "sparse-edges", round_, self.node_id, shared=True
+        )
+        order = list(range(self.cfg.n))
+        rng.shuffle(order)
+        rank = {source: i for i, source in enumerate(order)}
+        keep = sorted(vertices, key=lambda v: rank[v.source])[: self._fanout]
+        if leader is not None and all(v.source != leader for v in keep):
+            for v in vertices:
+                if v.source == leader:
+                    keep[-1] = v
+                    break
+        return keep
 
     def _leader_vertex_valid(self, round_: Round) -> bool:
         """Is the attached round-``round_`` leader vertex vote-eligible?
@@ -397,12 +445,20 @@ class SailfishNode:
         """Direct-commit ``anchor``; indirect-commit reachable skipped leaders."""
         chain = [anchor]
         current = anchor
+        # Compensating commit rule for sparse edges: strong paths alone no
+        # longer guarantee a later anchor reaches an earlier direct-committed
+        # leader (the fan-out breaks quorum intersection), so the indirect
+        # walk accepts any-edge routes — still a pure property of the
+        # anchor's frozen ancestry, hence identical on every honest replica.
+        reaches = (
+            self.store.path_exists if self._sparse else self.store.strong_path_exists
+        )
         for round_ in range(anchor.round - 1, self.last_committed_round, -1):
             candidate = self.store.get(round_, self.schedule.leader(round_))
             if (
                 candidate is not None
                 and self._leader_vertex_valid(round_)
-                and self.store.strong_path_exists(current, candidate)
+                and reaches(current, candidate)
             ):
                 chain.append(candidate)
                 current = candidate
@@ -442,6 +498,7 @@ class SailfishNode:
             if floor > 0:
                 self.rbc.gc_below(floor)
                 self.sync.gc_below(floor)
+                self.store.prune_reach_below(floor)
 
     # -- round advancement ----------------------------------------------------------------
 

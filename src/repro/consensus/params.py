@@ -41,6 +41,15 @@ class ProtocolParams:
         block_chunks: (prefix mode) chunks a block is split into; voters
             attest the prefix they hold and the commit rule orders the
             certified prefix.
+        edge_mode: ``"full"`` (every vertex strong-references all delivered
+            previous-round vertices, as in the paper) or ``"sparse"``
+            (Clownfish-style reduced fan-out: non-leader vertices reference
+            the previous leader plus ``edge_fanout - 1`` targets drawn from
+            the shared leader-schedule RNG stream; leader vertices keep full
+            edges and indirect commits use any-edge reachability — the
+            compensating commit rule, see DESIGN.md).
+        edge_fanout: strong edges per non-leader vertex in sparse mode
+            (0 = auto: ``max(3, bit_length(n))``, i.e. ~log2 n).
     """
 
     rbc_mode: str = "two-round"
@@ -55,10 +64,20 @@ class ProtocolParams:
     gc_depth: int = 8
     fallback_timeout: float = 0.5
     block_chunks: int = 4
+    edge_mode: str = "full"
+    edge_fanout: int = 0
+
+    def fanout_for(self, n: int) -> int:
+        """The effective sparse fan-out for a tribe of ``n`` parties."""
+        return self.edge_fanout if self.edge_fanout else max(3, n.bit_length())
 
     def __post_init__(self) -> None:
         if self.rbc_mode not in ("two-round", "bracha", "optimistic", "prefix"):
             raise ConfigError(f"unknown rbc_mode {self.rbc_mode!r}")
+        if self.edge_mode not in ("full", "sparse"):
+            raise ConfigError(f"unknown edge_mode {self.edge_mode!r}")
+        if self.edge_fanout < 0:
+            raise ConfigError("edge_fanout cannot be negative")
         if self.leader_timeout <= 0:
             raise ConfigError("leader_timeout must be positive")
         if self.retry_timeout <= 0:

@@ -129,6 +129,7 @@ class VertexRbc:
         fallback_timeout: float = 0.5,
         schedule=None,
         tracer=None,
+        edge_mode: str = "full",
     ) -> None:
         if mode not in ("two-round", "bracha", "optimistic", "prefix"):
             raise ConsensusError(f"unknown RBC mode {mode!r}")
@@ -151,6 +152,14 @@ class VertexRbc:
         self.mode = mode
         self._optimistic = mode == "optimistic"
         self._prefix = mode == "prefix"
+        #: Edge policy of the vertices this node broadcasts ("full"/"sparse");
+        #: informational here, but the per-broadcast edge counters below are
+        #: what the sparse-edge benchmarks read to report realized fan-out.
+        self.edge_mode = edge_mode
+        #: Realized fan-out stats over this node's own broadcasts.
+        self.vertices_broadcast = 0
+        self.strong_refs_sent = 0
+        self.weak_refs_sent = 0
         self.fallback_timeout = fallback_timeout
         self.retry_timeout = retry_timeout
         self.verify = verify_signatures
@@ -257,6 +266,9 @@ class VertexRbc:
             raise ConsensusError("vertex.block_digest must match block presence")
         if block is not None and block.payload_digest() != vertex.block_digest:
             raise ConsensusError("vertex.block_digest does not match block")
+        self.vertices_broadcast += 1
+        self.strong_refs_sent += len(vertex.strong_edges)
+        self.weak_refs_sent += len(vertex.weak_edges)
         vdigest = vertex.vertex_digest()
         signature = None
         if self.mode == "two-round":

@@ -25,6 +25,9 @@ class OrderingEngine:
         self.store = store
         self.ordered: list[Vertex] = []
         self._ordered_keys: set[Key] = set()
+        #: The ordered set as per-round bitmasks — the stop structure the
+        #: bitmap store prunes with directly (no per-key set probes).
+        self._ordered_masks: dict[Round, int] = {}
         self._last_leader_round: Round = 0
 
     @property
@@ -44,10 +47,12 @@ class OrderingEngine:
         # Pruning the walk at already-ordered vertices keeps each commit
         # O(newly ordered) — the ordered set is closed under ancestry, so the
         # pruned subtrees contain only vertices ordered by earlier leaders.
-        history = self.store.causal_history(leader, stop=self._ordered_keys)
+        history = self.store.causal_history(leader, stop_masks=self._ordered_masks)
         history.sort(key=lambda v: (v.round, v.source))
+        masks = self._ordered_masks
         for vertex in history:
             self._ordered_keys.add(vertex.key)
+            masks[vertex.round] = masks.get(vertex.round, 0) | (1 << vertex.source)
         self.ordered.extend(history)
         self._last_leader_round = leader.round
         return history

@@ -57,6 +57,12 @@ class Vertex:
     _digest_cache: bytes | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Lazily computed parents() cache: hot loops (prefix tracking, history
+    #: walks) call it per delivery, and concatenating two tuples per call is
+    #: measurable there.  Not part of equality or repr.
+    _parents_cache: "tuple[VertexRef, ...] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.round < GENESIS_ROUND:
@@ -83,13 +89,14 @@ class Vertex:
         cached = self._digest_cache
         if cached is not None:
             return cached
+        # parents() is strong edges then weak edges, so feeding the cached
+        # concatenation keeps the digest inputs bit-identical.
         parts = [
             b"vertex",
             self.round,
             self.source,
             self.block_digest if self.block_digest is not None else b"",
-            *[e.digest for e in self.strong_edges],
-            *[e.digest for e in self.weak_edges],
+            *[e.digest for e in self.parents()],
         ]
         # Prefix-mode fields are appended only when set, so unchunked
         # vertices keep their historical digests bit for bit.
@@ -111,7 +118,11 @@ class Vertex:
         return (self.round, self.source)
 
     def parents(self) -> tuple[VertexRef, ...]:
-        return self.strong_edges + self.weak_edges
+        cached = self._parents_cache
+        if cached is None:
+            cached = self.strong_edges + self.weak_edges
+            object.__setattr__(self, "_parents_cache", cached)
+        return cached
 
     def wire_size(self) -> int:
         size = sizes.HEADER_SIZE + sizes.HASH_SIZE  # header + block digest

@@ -435,3 +435,78 @@ def test_obs001_non_tracer_receiver_is_clean():
         )
         == []
     )
+
+
+# -- DAG001: full-round DAG scan inside a per-item loop -----------------------
+
+DAG_PATH = "src/repro/consensus/node.py"
+
+
+def test_dag001_flags_round_scan_in_vertex_loop():
+    findings = run(
+        """\
+        def count(self, vertices):
+            for vertex in vertices:
+                peers = self.store.round_vertices(vertex.round)
+        """,
+        path=DAG_PATH,
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("DAG001", "warning")]
+    assert findings[0].line == 3
+
+
+def test_dag001_flags_uncovered_scan_in_while_loop():
+    assert "DAG001" in rule_ids(
+        """\
+        def drain(self):
+            while self.pending:
+                tips = self.store.uncovered_before(self.round)
+        """,
+        path="src/repro/dag/store.py",
+    )
+
+
+def test_dag001_hoisted_scan_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def count(self, vertices, round_):
+                peers = self.store.round_vertices(round_)
+                for vertex in vertices:
+                    check(vertex, peers)
+            """,
+            path=DAG_PATH,
+        )
+        == []
+    )
+
+
+def test_dag001_round_range_loop_is_clean():
+    # Iterating *rounds* and scanning each once is the batch pattern
+    # (sync serves round batches this way), not a per-item rescan.
+    assert (
+        rule_ids(
+            """\
+            def serve(self, lo, hi):
+                for round_ in range(lo, hi + 1):
+                    for vertex in self.store.round_vertices(round_):
+                        emit(vertex)
+            """,
+            path="src/repro/consensus/sync.py",
+        )
+        == []
+    )
+
+
+def test_dag001_out_of_scope_path_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def watch(self, vertices):
+                for vertex in vertices:
+                    peers = self.store.round_vertices(vertex.round)
+            """,
+            path="src/repro/forensics/monitors.py",
+        )
+        == []
+    )
