@@ -153,6 +153,44 @@ class FileContext:
             return self.lines[line - 1].strip()
         return ""
 
+    def statement_lines(self, line: int) -> range:
+        """All lines of the smallest statement covering ``line``.
+
+        For compound statements (``for``/``if``/``def``/...) only the
+        *header* lines count — an ``allow[...]`` comment inside a function
+        body must not blanket the whole function.  Used so a suppression on
+        any physical line of a multi-line statement applies to findings
+        anchored on its first line.
+        """
+        best: tuple[int, int] | None = None
+        for start, end in self._statement_spans():
+            if start <= line <= end:
+                if best is None or (end - start, -start) < (
+                    best[1] - best[0],
+                    -best[0],
+                ):
+                    best = (start, end)
+        if best is None:
+            return range(line, line + 1)
+        return range(best[0], best[1] + 1)
+
+    def _statement_spans(self) -> list[tuple[int, int]]:
+        spans = getattr(self, "_spans", None)
+        if spans is None:
+            spans = []
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                start = node.lineno
+                end = getattr(node, "end_lineno", None) or start
+                body = getattr(node, "body", None)
+                if isinstance(body, list) and body:
+                    first = getattr(body[0], "lineno", start)
+                    end = min(end, max(start, first - 1))
+                spans.append((start, end))
+            self._spans = spans
+        return spans
+
     def finding(
         self, rule: "Rule", node: ast.AST, message: str, severity: str | None = None
     ) -> Finding:
@@ -199,12 +237,15 @@ def _allowed_rules(line: str) -> frozenset[str] | None:
 class Analyzer:
     """Runs a rule pack over files and directories."""
 
-    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+    def __init__(self, rules: Iterable[Rule] | None = None, project=None) -> None:
         if rules is None:
             from .rules import default_rules
 
             rules = default_rules()
         self.rules: list[Rule] = list(rules)
+        #: Whole-program context (:class:`repro.analysis.project.ProjectContext`).
+        #: Rules with ``requires_project = True`` are skipped when ``None``.
+        self.project = project
         #: Suppressions honoured during the last run (for reporting).
         self.suppressed = 0
         #: Files analyzed during the last run.
@@ -222,7 +263,12 @@ class Analyzer:
         ctx = FileContext(path, source, tree)
         findings: list[Finding] = []
         for rule in self.rules:
-            findings.extend(rule.check(ctx))
+            if getattr(rule, "requires_project", False):
+                if self.project is None:
+                    continue  # interprocedural rules need the whole program
+                findings.extend(rule.check(ctx, self.project))
+            else:
+                findings.extend(rule.check(ctx))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return self._apply_suppressions(ctx, findings)
 
@@ -231,8 +277,13 @@ class Analyzer:
     ) -> list[Finding]:
         kept: list[Finding] = []
         for finding in findings:
-            allowed = _allowed_rules(ctx.snippet(finding.line) or "")
-            if allowed and (finding.rule in allowed or "*" in allowed):
+            # An allow comment on any physical line of the (multi-line)
+            # statement counts, not just the line the finding anchors to.
+            if any(
+                (allowed := _allowed_rules(ctx.snippet(line) or ""))
+                and (finding.rule in allowed or "*" in allowed)
+                for line in ctx.statement_lines(finding.line)
+            ):
                 self.suppressed += 1
                 continue
             kept.append(finding)

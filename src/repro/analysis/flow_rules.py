@@ -1,0 +1,439 @@
+"""Interprocedural protocol-flow rules (require a :class:`ProjectContext`).
+
+These rules check invariants that span modules: quorum thresholds must flow
+from their canonical derivations, ``make_rng`` stream labels must be
+collision-free program-wide, every constructed message must have a reachable
+handler, and unordered iteration must not reach an ordering sink through the
+call graph.  They run only when the analyzer was given a whole-program
+context (``python -m repro analyze`` always builds one; single-source unit
+runs without one simply skip them).
+
+================  ==========================================================
+QRM001 (error)    quorum threshold re-derived (``2f+1``, ``f+1``, ``n-f``,
+                  majority ``(x+1)//2``, magic literals vs vote counts) in
+                  ``rbc/``/``consensus/``/``dag/`` instead of flowing from
+                  ``types.quorum_size``/``max_faults`` or the
+                  ``Membership``/``ClanConfig`` properties
+RNG001 (error)    static ``make_rng`` stream inventory: colliding constant
+                  labels between non-``shared`` sites; dynamic first labels
+                  that escape resolution (warning); label-less streams
+MSG003 (error)    ``Message`` subclass constructed with no handler reachable
+                  via ``Network.register``/``set_dispatch``; handler reads a
+                  field the class does not declare
+DET005 (error)    unordered set/dict iteration whose body calls a function
+                  that reaches a ``send``/``schedule``/RNG sink through the
+                  call graph (the interprocedural half of DET003)
+================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .engine import FileContext, Finding
+from .project import ORDER_SINKS, ProjectContext, RngSite, rng_sites_in
+from .rules import UnsortedSetIterRule, _func_name, _scope_nodes, _walk_scope
+
+#: Path fragments where quorum arithmetic is protocol-critical.
+_PROTOCOL_PATHS = ("repro/rbc/", "repro/consensus/", "repro/dag/")
+
+
+def _enclosing_function(ctx: FileContext, node: ast.AST) -> str | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor.name
+    return None
+
+
+class QuorumDerivationRule:
+    """QRM001: thresholds flow from the canonical helpers, never re-derived.
+
+    The tribe/clan safety argument (paper §4–5) is threshold algebra:
+    ``quorum_size`` guarantees intersection-in-honesty, ``f_c+1`` guarantees
+    one honest responder.  A hand-written ``2*f+1`` that drifts from the
+    canonical formula (say the clan variant's ``(n_c+1)//2``) is a silent
+    safety bug — so on protocol paths the *only* place the arithmetic may
+    appear is the helpers themselves (``types.py``, ``committees/config.py``,
+    ``rbc/base.py``); everything else calls them.
+    """
+
+    rule_id = "QRM001"
+    severity = "error"
+    summary = "quorum threshold re-derived outside the canonical helpers"
+    requires_project = True
+
+    _FAULTY = re.compile(r"^(f|f_c|fc|t)$|^(max_)?faults?$")
+    _FAULT_CALLS = frozenset({"max_faults", "clan_max_faults", "clan_faults"})
+    _SIZEY = re.compile(r"^(n|n_c|nc)$|^num_|_size$|^size$|^total$|^members$")
+    #: Collections whose ``len(...)`` is a party count (``(len(xs)+1)//2``
+    #: on an arbitrary list is the midpoint idiom, not a majority).
+    _MEMBERY = re.compile(
+        r"clan|member|node|peer|part(y|ies)|committee|tribe|replica|"
+        r"validator|proposer",
+        re.IGNORECASE,
+    )
+    _COUNTY = re.compile(
+        r"vote|supporter|echo|read(y|ies)|signer|signature|voter|ack|replie|"
+        r"reply|tally|cert|response",
+        re.IGNORECASE,
+    )
+
+    def check(self, ctx: FileContext, project: ProjectContext) -> Iterable[Finding]:
+        normalized = ctx.path.replace("\\", "/")
+        if not any(part in normalized for part in _PROTOCOL_PATHS):
+            return
+        reported: set[int] = set()
+        for node in ctx.nodes(ast.BinOp):
+            reason = self._quorum_shape(node)
+            if reason is None:
+                continue
+            fn = _enclosing_function(ctx, node)
+            if fn is not None and fn in project.canonical_quorum_defs:
+                continue  # this *is* a canonical derivation site
+            if node.lineno in reported:
+                continue  # one finding per line (2*f+1 matches twice)
+            reported.add(node.lineno)
+            yield ctx.finding(
+                self,
+                node,
+                f"{reason} re-derives a quorum threshold; protocol code must "
+                "flow it from types.quorum_size/max_faults or the "
+                "Membership/ClanConfig properties",
+            )
+        for node in ctx.nodes(ast.Compare):
+            count_name = self._magic_literal_compare(node)
+            if count_name is None or node.lineno in reported:
+                continue
+            fn = _enclosing_function(ctx, node)
+            if fn is not None and fn in project.canonical_quorum_defs:
+                continue
+            reported.add(node.lineno)
+            yield ctx.finding(
+                self,
+                node,
+                f"`{count_name}` is compared against a magic integer literal; "
+                "thresholds on vote/supporter counts must come from the "
+                "canonical quorum helpers",
+            )
+
+    # -- shape matching -------------------------------------------------------
+
+    def _fault_ish(self, node: ast.AST) -> bool:
+        name = _func_name(node)
+        if name is not None and not isinstance(node, ast.Call):
+            return bool(self._FAULTY.search(name))
+        if isinstance(node, ast.Call):
+            return _func_name(node.func) in self._FAULT_CALLS
+        return False
+
+    def _size_ish(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            if _func_name(node.func) != "len" or not node.args:
+                return False
+            inner = _func_name(node.args[0])
+            return inner is not None and bool(self._MEMBERY.search(inner))
+        name = _func_name(node)
+        return name is not None and bool(self._SIZEY.search(name))
+
+    @staticmethod
+    def _const(node: ast.AST, value: int) -> bool:
+        return isinstance(node, ast.Constant) and node.value == value
+
+    def _quorum_shape(self, node: ast.BinOp) -> str | None:
+        left, right = node.left, node.right
+        if isinstance(node.op, ast.Mult):
+            # 2 * f (the inner half of 2f+1)
+            if (self._const(left, 2) and self._fault_ish(right)) or (
+                self._const(right, 2) and self._fault_ish(left)
+            ):
+                return "`2*f`"
+        if isinstance(node.op, ast.Add):
+            # f + 1 / 2*f + 1
+            for a, b in ((left, right), (right, left)):
+                if not self._const(b, 1):
+                    continue
+                if self._fault_ish(a):
+                    return "`f + 1`"
+                if (
+                    isinstance(a, ast.BinOp)
+                    and isinstance(a.op, ast.Mult)
+                    and self._quorum_shape(a)
+                ):
+                    return "`2*f + 1`"
+                # x // 2 + 1 majority
+                if (
+                    isinstance(a, ast.BinOp)
+                    and isinstance(a.op, ast.FloorDiv)
+                    and self._size_ish(a.left)
+                    and self._const(a.right, 2)
+                ):
+                    return "`x // 2 + 1`"
+        if isinstance(node.op, ast.Sub):
+            # n - f
+            if self._size_ish(left) and self._fault_ish(right):
+                return "`n - f`"
+        if isinstance(node.op, ast.FloorDiv):
+            # (x + 1) // 2 majority
+            if (
+                self._const(right, 2)
+                and isinstance(left, ast.BinOp)
+                and isinstance(left.op, ast.Add)
+                and (
+                    (self._size_ish(left.left) and self._const(left.right, 1))
+                    or (self._size_ish(left.right) and self._const(left.left, 1))
+                )
+            ):
+                return "`(x + 1) // 2`"
+        return None
+
+    def _magic_literal_compare(self, node: ast.Compare) -> str | None:
+        """``len(votes) >= 3``-style comparisons: the name being counted,
+        or None.  Literals below 2 are structural (“non-empty”), not
+        thresholds."""
+        operands = [node.left, *node.comparators]
+        magic = any(
+            isinstance(o, ast.Constant)
+            and isinstance(o.value, int)
+            and not isinstance(o.value, bool)
+            and o.value >= 2
+            for o in operands
+        )
+        if not magic:
+            return None
+        for operand in operands:
+            if (
+                isinstance(operand, ast.Call)
+                and _func_name(operand.func) == "len"
+                and operand.args
+            ):
+                inner = _func_name(operand.args[0])
+                if inner and self._COUNTY.search(inner):
+                    return f"len({inner})"
+            else:
+                name = _func_name(operand)
+                if name and self._COUNTY.search(name) and name.endswith("count"):
+                    return name
+        return None
+
+
+class RngStreamRule:
+    """RNG001: the static twin of the runtime stream-collision sanitizer.
+
+    Every ``make_rng`` call site is enumerated project-wide and its label
+    tuple resolved to constants where possible.  Two non-``shared`` sites
+    whose resolved labels can coincide at runtime would consume the same
+    deterministic sequence — the coupling named streams exist to prevent —
+    and a dynamic *first* label defeats both this pass and any reader
+    auditing stream usage, so it is flagged even without a collision.
+    """
+
+    rule_id = "RNG001"
+    severity = "error"
+    summary = "make_rng stream collision or unresolvable stream name"
+    requires_project = True
+
+    def check(self, ctx: FileContext, project: ProjectContext) -> Iterable[Finding]:
+        for site in rng_sites_in(ctx):
+            yield from self._check_site(ctx, project, site)
+
+    def _check_site(
+        self, ctx: FileContext, project: ProjectContext, site: RngSite
+    ) -> Iterable[Finding]:
+        if not site.labels:
+            yield self._finding(
+                ctx,
+                site,
+                "make_rng(...) without a stream label draws from the bare "
+                "master seed; name the stream (make_rng(seed, \"purpose\"))",
+                "error",
+            )
+            return
+        if site.first_label is None:
+            yield self._finding(
+                ctx,
+                site,
+                "dynamic first stream label escapes static resolution; make "
+                "the first label a string constant naming the stream's "
+                "purpose and pass varying parts (ids, rounds) as later labels",
+                "warning",
+            )
+            return
+        for other in project.rng_collisions(site):
+            if site.shared and other.shared:
+                continue  # both declared common knowledge — the contract
+            where = f"{other.path}:{other.line}"
+            if site.shared != other.shared:
+                yield self._finding(
+                    ctx,
+                    site,
+                    f"stream `{site.first_label}` is derived both shared and "
+                    f"exclusive (other site: {where}); pick one contract for "
+                    "the label",
+                    "error",
+                )
+            elif site.fully_constant and other.fully_constant:
+                yield self._finding(
+                    ctx,
+                    site,
+                    f"stream labels {site.labels} collide with {where}; two "
+                    "components would consume the same deterministic "
+                    "sequence — add a distinguishing label or declare "
+                    "shared=True",
+                    "error",
+                )
+            else:
+                yield self._finding(
+                    ctx,
+                    site,
+                    f"stream `{site.first_label}` may collide with {where} "
+                    "(dynamic labels cannot be proven distinct); use "
+                    "distinct first labels per component",
+                    "warning",
+                )
+
+    def _finding(
+        self, ctx: FileContext, site: RngSite, message: str, severity: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=severity,
+            path=ctx.path,
+            line=site.line,
+            col=site.col,
+            message=message,
+            snippet=ctx.snippet(site.line),
+        )
+
+
+class MessageDispatchRule:
+    """MSG003: every constructed message has a reachable handler, and
+    handlers only read fields the message declares.
+
+    A ``Message`` subclass constructed but absent from every dispatch table
+    and every ``isinstance`` chain reachable from a ``Network.register``
+    root is silently dropped at delivery — the protocol just stalls.  The
+    converse bug, a handler reading a field that was renamed away, raises
+    only on the first delivery of that message type under exactly the right
+    scenario.  Both are cheap to prove statically from the project tables.
+    """
+
+    rule_id = "MSG003"
+    severity = "error"
+    summary = "message constructed without a reachable handler / stale field read"
+    requires_project = True
+
+    def check(self, ctx: FileContext, project: ProjectContext) -> Iterable[Finding]:
+        for node in ctx.nodes(ast.Call):
+            name = _func_name(node.func)
+            if name in project.message_classes and name not in project.handled_messages:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{name}(...)` is constructed but no handler for "
+                    f"`{name}` is reachable via Network.register/"
+                    "set_dispatch — it would be silently dropped at delivery",
+                )
+        yield from self._stale_field_reads(ctx, project)
+
+    def _stale_field_reads(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        for fn in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            args = fn.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.annotation is None:
+                    continue
+                ann = _func_name(arg.annotation)
+                if ann == "Message" or ann not in project.message_classes:
+                    continue
+                fields = project.message_fields.get(ann, frozenset())
+                reported: set[str] = set()
+                for sub in ast.walk(fn):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == arg.arg
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.attr not in fields
+                        and sub.attr not in reported
+                    ):
+                        reported.add(sub.attr)
+                        yield ctx.finding(
+                            self,
+                            sub,
+                            f"handler reads `{arg.arg}.{sub.attr}` but "
+                            f"`{ann}` declares no field or method "
+                            f"`{sub.attr}` — stale read, AttributeError at "
+                            "first delivery",
+                        )
+
+
+class InterprocSinkRule:
+    """DET005: DET003 through the call graph.
+
+    DET003 escalates an unordered iteration to *error* when the loop body
+    itself sends/schedules/draws.  That misses the common refactor where the
+    body calls ``self._emit(p)`` and the sink lives two hops away — the
+    event order is exactly as hash-dependent.  This rule follows the
+    project call graph from every call in the loop body to the order sinks
+    and escalates when any path exists.
+    """
+
+    rule_id = "DET005"
+    severity = "error"
+    summary = "unordered iteration reaches an order sink through the call graph"
+    requires_project = True
+
+    def __init__(self) -> None:
+        self._det3 = UnsortedSetIterRule()
+
+    def check(self, ctx: FileContext, project: ProjectContext) -> Iterable[Finding]:
+        for scope in _scope_nodes(ctx):
+            set_vars = self._det3._set_assignments(scope)
+            for node in _walk_scope(scope):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                reason = self._det3._unordered_reason(node.iter, set_vars)
+                if reason is None:
+                    continue
+                if self._det3._body_sink(node.body) is not None:
+                    continue  # direct sink: DET003 already errors here
+                hop = self._reaching_call(node.body, project)
+                if hop is None:
+                    continue
+                callee, sink = hop
+                yield ctx.finding(
+                    self,
+                    node.iter,
+                    f"iteration over {reason} calls `{callee}(...)`, which "
+                    f"reaches `{sink}(...)` through the call graph — event "
+                    "order becomes hash/insertion dependent; wrap the "
+                    "iterable in sorted(...)",
+                )
+
+    @staticmethod
+    def _reaching_call(
+        body: list[ast.stmt], project: ProjectContext
+    ) -> tuple[str, str] | None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = _func_name(node.func)
+                    if name is None or name in ORDER_SINKS:
+                        continue
+                    sink = project.sink_reachers.get(name)
+                    if sink is not None:
+                        return name, sink
+        return None
+
+
+def flow_rules() -> list:
+    """The interprocedural rule pack, in rule-id order."""
+    return [
+        InterprocSinkRule(),
+        MessageDispatchRule(),
+        QuorumDerivationRule(),
+        RngStreamRule(),
+    ]

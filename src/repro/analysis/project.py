@@ -1,0 +1,633 @@
+"""Whole-program context for interprocedural analysis rules.
+
+The per-file rules in :mod:`repro.analysis.rules` see one parsed module at a
+time, which is enough for "never call ``random.random``" but blind to the
+invariants that actually hold the protocol together: quorum thresholds are
+derived in ``types.py`` and *used* three packages away, ``make_rng`` stream
+labels must be globally collision-free, and a ``Message`` subclass is only as
+alive as the dispatch table that routes it.  :class:`ProjectContext` is the
+one-pass summary of the whole source tree that the flow rules
+(:mod:`repro.analysis.flow_rules`) consult for those cross-module facts.
+
+Design constraints:
+
+* **Built once, consulted per file.**  Construction parses every module a
+  single time and keeps only plain-data summary tables (symbol tables, a
+  name-based call graph, message field sets, the RNG stream inventory) —
+  no AST nodes survive, so the context pickles cleanly for the CI cache.
+* **Name-based, over-approximate call graph.**  ``self._flush()`` resolves
+  to *every* function named ``_flush`` in the program.  Over-approximation
+  errs toward reachability, which for the rules built on it (MSG003 handler
+  reachability, DET005 sink reachability) means fewer false positives, never
+  missed handlers.
+* **Content-addressed cache.**  :func:`load_project` keys a pickle of the
+  context on a digest over every analyzed file (same scheme as
+  ``results/.cache``): any source edit is a miss by construction, so a stale
+  hit is impossible.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .engine import SKIP_DIRS, FileContext
+
+#: Call names that make iteration order protocol-visible (kept in sync with
+#: :data:`repro.analysis.rules._ORDER_SINKS` by ``tests/analysis``).
+ORDER_SINKS = frozenset(
+    {
+        "send",
+        "multicast",
+        "broadcast",
+        "schedule",
+        "schedule_at",
+        "post",
+        "start",
+        "random",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "randint",
+        "randrange",
+        "uniform",
+        "gauss",
+    }
+)
+
+#: Attributes every ``Message`` provides (base-class slots + API), available
+#: even when the base class itself is outside the analyzed source set.
+MESSAGE_BASE_ATTRS = frozenset(
+    {"_wire_size_memo", "wire_size", "wire_size_cached", "kind", "signed"}
+)
+
+#: Modules whose function/property definitions are the *canonical* quorum
+#: derivations; everything else must call them instead of re-deriving.
+CANONICAL_QUORUM_MODULES = (
+    "repro.types",
+    "repro.committees.config",
+    "repro.rbc.base",
+)
+
+#: Helper names treated as canonical even when their defining module is not
+#: in the analyzed set (unit-test fixtures analyze single files).
+CANONICAL_QUORUM_NAMES = frozenset(
+    {
+        "max_faults",
+        "quorum_size",
+        "clan_max_faults",
+        "clan_response_quorum",
+        "quorum",
+        "clan_quorum",
+        "ready_amplify",
+        "clan_faults",
+        "clan_echo_quorum",
+        "clan_client_quorum",
+        "validate_tribe",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RngSite:
+    """One static ``make_rng(master, *labels)`` call site."""
+
+    path: str
+    line: int
+    col: int
+    #: Resolved label values; ``None`` marks a dynamic (unresolvable) label.
+    labels: tuple
+    shared: bool
+
+    @property
+    def first_label(self):
+        return self.labels[0] if self.labels else None
+
+    @property
+    def fully_constant(self) -> bool:
+        return all(label is not None for label in self.labels)
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """Summary of one class definition."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    #: Terminal names of the declared bases (``net.Message`` → ``Message``).
+    bases: tuple[str, ...]
+    #: Declared fields: dataclass/annotated fields, class-level assignments,
+    #: ``__slots__`` entries, and ``self.X = ...`` targets in methods.
+    fields: frozenset[str]
+    #: Method and property names defined in the class body.
+    methods: frozenset[str]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Summary of one function/method definition."""
+
+    name: str
+    qualname: str  # module.[Class.]name
+    module: str
+    path: str
+    line: int
+    cls: str | None
+    #: Terminal names of every call in the body (``self.net.send`` → ``send``).
+    calls: frozenset[str]
+    #: Parameter name → terminal annotation name, for annotated params.
+    param_types: tuple[tuple[str, str], ...] = ()
+    #: Class names appearing in ``isinstance(x, C)`` checks in the body.
+    isinstance_classes: frozenset[str] = frozenset()
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def rng_sites_in(ctx: FileContext) -> list[RngSite]:
+    """Every ``make_rng`` call site in one file, labels resolved to constants
+    where possible (shared with RNG001, so the static inventory and the rule
+    agree on what a site is)."""
+    sites: list[RngSite] = []
+    for node in ctx.nodes(ast.Call):
+        name = _terminal_name(node.func)
+        if name != "make_rng":
+            continue
+        labels = []
+        for arg in node.args[1:]:
+            if isinstance(arg, ast.Constant):
+                labels.append(str(arg.value))
+            else:
+                labels.append(None)  # dynamic: node ids, round numbers, ...
+        shared = any(
+            kw.arg == "shared"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+        sites.append(
+            RngSite(
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                labels=tuple(labels),
+                shared=shared,
+            )
+        )
+    return sites
+
+
+def _module_name(path: str) -> str:
+    """``src/repro/sim/rng.py`` → ``repro.sim.rng`` (best-effort for
+    out-of-tree fixture paths: strip ``.py``, slashes become dots)."""
+    norm = path.replace("\\", "/")
+    if norm.endswith(".py"):
+        norm = norm[:-3]
+    parts = [p for p in norm.split("/") if p and p != "."]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ProjectContext:
+    """Cross-module summary tables for the interprocedural rules."""
+
+    #: module name → repo-relative path
+    modules: dict[str, str] = field(default_factory=dict)
+    #: class name → every definition with that name (names are unique in
+    #: practice; collisions are merged conservatively)
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    #: function name → every definition with that name
+    functions: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+    rng_sites: list[RngSite] = field(default_factory=list)
+    #: names of classes transitively subclassing ``Message``
+    message_classes: frozenset[str] = frozenset()
+    #: message class name → readable attributes (fields ∪ methods ∪ inherited)
+    message_fields: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: message class names with a handler reachable from Network
+    #: registration (dispatch-table keys or isinstance checks in the
+    #: handler call-graph closure)
+    handled_messages: frozenset[str] = frozenset()
+    #: function names that transitively reach an order sink, mapped to one
+    #: example sink name (for diagnostics)
+    sink_reachers: dict[str, str] = field(default_factory=dict)
+    #: function names exempt from QRM001 (the canonical quorum derivations)
+    canonical_quorum_defs: frozenset[str] = frozenset()
+    #: digest of the analyzed sources (cache key; empty for from_sources)
+    digest: str = ""
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "ProjectContext":
+        """Build from in-memory ``{path: source}`` (the unit-test entry
+        point).  Files that fail to parse are skipped — the per-file engine
+        already reports parse errors."""
+        project = cls()
+        registrations: list[tuple[str, str]] = []  # (path, root function name)
+        dispatch_keys: set[str] = set()
+        for path, source in sorted(sources.items()):
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            ctx = FileContext(path.replace(os.sep, "/"), source, tree)
+            project._ingest(ctx, registrations, dispatch_keys)
+        project._finalize(registrations, dispatch_keys)
+        return project
+
+    @classmethod
+    def build(cls, paths: Iterable[str], root: str | None = None) -> "ProjectContext":
+        """Build over files/directory trees on disk (mirrors
+        ``Analyzer.run``'s walk, so both passes see the same file set)."""
+        sources = _collect_sources(paths, root)
+        project = cls.from_sources(sources)
+        project.digest = _digest_sources(sources)
+        return project
+
+    def _ingest(
+        self,
+        ctx: FileContext,
+        registrations: list[tuple[str, str]],
+        dispatch_keys: set[str],
+    ) -> None:
+        module = _module_name(ctx.path)
+        self.modules[module] = ctx.path
+        self.rng_sites.extend(rng_sites_in(ctx))
+
+        for node in ctx.nodes(ast.ClassDef):
+            info = self._class_info(ctx, module, node)
+            self.classes.setdefault(info.name, []).append(info)
+
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            info = self._function_info(ctx, module, node)
+            self.functions.setdefault(info.name, []).append(info)
+
+        # Handler roots: the callable handed to ``.register(node_id, fn)``
+        # and every value in a ``.set_dispatch(node_id, {...})`` table.
+        for node in ctx.nodes(ast.Call):
+            name = _terminal_name(node.func)
+            if name == "register" and len(node.args) >= 2:
+                self._note_handler_root(ctx, node.args[1], registrations)
+            elif name == "set_dispatch" and len(node.args) >= 2:
+                table = node.args[1]
+                if isinstance(table, ast.Dict):
+                    for value in table.values:
+                        self._note_handler_root(ctx, value, registrations)
+
+        # Dispatch-table keys: ``{VertexEchoMsg: self._on_echo}`` dict
+        # literals and ``table[NoVoteMsg] = handler`` subscript stores.
+        for node in ctx.nodes(ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                key_name = _terminal_name(key) if key is not None else None
+                if key_name and key_name[:1].isupper() and _is_callable_ref(value):
+                    dispatch_keys.add(key_name)
+                    self._note_handler_root(ctx, value, registrations)
+        for node in ctx.nodes(ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    key_name = _terminal_name(target.slice)
+                    if key_name and key_name[:1].isupper():
+                        dispatch_keys.add(key_name)
+                        self._note_handler_root(ctx, node.value, registrations)
+
+    @staticmethod
+    def _note_handler_root(
+        ctx: FileContext, node: ast.AST, registrations: list[tuple[str, str]]
+    ) -> None:
+        if isinstance(node, ast.Lambda):
+            # ``register(nid, lambda src, m: self._on_raw(nid, src, m))`` —
+            # the lambda body's calls are the real roots.
+            for sub in ast.walk(node.body):
+                if isinstance(sub, ast.Call):
+                    name = _terminal_name(sub.func)
+                    if name:
+                        registrations.append((ctx.path, name))
+            return
+        name = _terminal_name(node)
+        if name:
+            registrations.append((ctx.path, name))
+
+    @staticmethod
+    def _class_info(ctx: FileContext, module: str, node: ast.ClassDef) -> ClassInfo:
+        bases = tuple(
+            name for name in (_terminal_name(b) for b in node.bases) if name
+        )
+        fields: set[str] = set()
+        methods: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        fields.add(target.id)
+                        if target.id == "__slots__":
+                            fields.update(_slot_names(stmt.value))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+                # ``self.X = ...`` in any method declares a field too.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                fields.add(target.attr)
+        return ClassInfo(
+            name=node.name,
+            module=module,
+            path=ctx.path,
+            line=node.lineno,
+            bases=bases,
+            fields=frozenset(fields),
+            methods=frozenset(methods),
+        )
+
+    @staticmethod
+    def _function_info(
+        ctx: FileContext, module: str, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> FunctionInfo:
+        cls_name = None
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                cls_name = ancestor.name
+                break
+        calls: set[str] = set()
+        isinstance_classes: set[str] = set()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _terminal_name(sub.func)
+            if name is None:
+                continue
+            calls.add(name)
+            if name == "isinstance" and len(sub.args) == 2:
+                isinstance_classes.update(_class_refs(sub.args[1]))
+        params = []
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                ann = _terminal_name(arg.annotation)
+                if ann:
+                    params.append((arg.arg, ann))
+        qual = f"{module}.{cls_name}.{node.name}" if cls_name else f"{module}.{node.name}"
+        return FunctionInfo(
+            name=node.name,
+            qualname=qual,
+            module=module,
+            path=ctx.path,
+            line=node.lineno,
+            cls=cls_name,
+            calls=frozenset(calls),
+            param_types=tuple(params),
+            isinstance_classes=frozenset(isinstance_classes),
+        )
+
+    def _finalize(
+        self, registrations: list[tuple[str, str]], dispatch_keys: set[str]
+    ) -> None:
+        self.message_classes = self._message_closure()
+        self.message_fields = {
+            name: self._field_closure(name) for name in self.message_classes
+        }
+        self.handled_messages = frozenset(
+            dispatch_keys & self.message_classes
+        ) | self._isinstance_handled(registrations)
+        self.sink_reachers = self._sink_closure()
+        self.canonical_quorum_defs = self._canonical_defs()
+
+    def _message_closure(self) -> frozenset[str]:
+        known: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, infos in self.classes.items():
+                if name in known or name == "Message":
+                    continue
+                for info in infos:
+                    if any(b == "Message" or b in known for b in info.bases):
+                        known.add(name)
+                        changed = True
+                        break
+        return frozenset(known)
+
+    def _field_closure(self, name: str, _seen: frozenset[str] = frozenset()) -> frozenset[str]:
+        attrs: set[str] = set(MESSAGE_BASE_ATTRS)
+        for info in self.classes.get(name, ()):
+            attrs |= info.fields | info.methods
+            for base in info.bases:
+                if base != name and base not in _seen and base in self.classes:
+                    attrs |= self._field_closure(base, _seen | {name})
+        attrs.discard("__slots__")
+        return frozenset(attrs)
+
+    def _isinstance_handled(
+        self, registrations: list[tuple[str, str]]
+    ) -> frozenset[str]:
+        """Message classes isinstance-checked in a function reachable (via
+        the name-based call graph) from a handler registration root."""
+        reachable: set[str] = {name for _path, name in registrations}
+        frontier = list(reachable)
+        while frontier:
+            fn_name = frontier.pop()
+            for info in self.functions.get(fn_name, ()):
+                for callee in info.calls:
+                    if callee in self.functions and callee not in reachable:
+                        reachable.add(callee)
+                        frontier.append(callee)
+        handled: set[str] = set()
+        for fn_name in reachable:
+            for info in self.functions.get(fn_name, ()):
+                handled |= info.isinstance_classes & self.message_classes
+        return frozenset(handled)
+
+    def _sink_closure(self) -> dict[str, str]:
+        """Function name → example sink it (transitively) reaches."""
+        reaches: dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for name, infos in self.functions.items():
+                if name in reaches:
+                    continue
+                for info in infos:
+                    direct = info.calls & ORDER_SINKS
+                    if direct:
+                        reaches[name] = sorted(direct)[0]
+                        changed = True
+                        break
+                    via = next(
+                        (c for c in sorted(info.calls) if c in reaches), None
+                    )
+                    if via is not None:
+                        reaches[name] = reaches[via]
+                        changed = True
+                        break
+        return reaches
+
+    def _canonical_defs(self) -> frozenset[str]:
+        names = set(CANONICAL_QUORUM_NAMES)
+        for fn_name, infos in self.functions.items():
+            if fn_name.startswith("_"):
+                continue  # dunders/private helpers are not threshold API
+            for info in infos:
+                if info.module in CANONICAL_QUORUM_MODULES:
+                    names.add(fn_name)
+        return frozenset(names)
+
+    # -- queries --------------------------------------------------------------
+
+    def reaches_sink(self, func_name: str) -> str | None:
+        """The sink name a function transitively reaches, or ``None``."""
+        if func_name in ORDER_SINKS:
+            return func_name
+        return self.sink_reachers.get(func_name)
+
+    def rng_collisions(self, site: RngSite) -> list[RngSite]:
+        """Other sites whose streams can collide with ``site`` at runtime."""
+        out = []
+        for other in self.rng_sites:
+            if (other.path, other.line, other.col) == (site.path, site.line, site.col):
+                continue
+            if site.first_label is None or other.first_label != site.first_label:
+                continue
+            if len(other.labels) != len(site.labels):
+                continue  # tuples of different arity never compare equal
+            if all(
+                a == b
+                for a, b in zip(site.labels, other.labels)
+                if a is not None and b is not None
+            ):
+                out.append(other)
+        return out
+
+
+def _is_callable_ref(node: ast.AST) -> bool:
+    """Heuristic: does a dict value look like a handler (method ref, bare
+    function name, or lambda) rather than data?"""
+    return isinstance(node, (ast.Attribute, ast.Name, ast.Lambda))
+
+
+def _class_refs(node: ast.AST) -> set[str]:
+    """Class names referenced by an isinstance second argument (bare name,
+    attribute, or tuple of either)."""
+    out: set[str] = set()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    for sub in nodes:
+        name = _terminal_name(sub)
+        if name:
+            out.add(name)
+    return out
+
+
+def _slot_names(node: ast.AST) -> set[str]:
+    out: set[str] = set()
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.add(elt.value)
+    return out
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _collect_sources(paths: Iterable[str], root: str | None = None) -> dict[str, str]:
+    """Read every ``.py`` under the targets, keyed by root-relative path
+    (the same walk order and skip set as ``Analyzer.run``)."""
+    sources: dict[str, str] = {}
+    root = os.path.abspath(root or os.getcwd())
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(full):
+            sources[os.path.relpath(full, root)] = _read(full)
+            continue
+        if not os.path.isdir(full):
+            continue  # Analyzer.run already errors on missing targets
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    filepath = os.path.join(dirpath, name)
+                    sources[os.path.relpath(filepath, root)] = _read(filepath)
+    return sources
+
+
+# -- content-addressed cache --------------------------------------------------
+
+
+def _digest_sources(sources: dict[str, str]) -> str:
+    """Digest over every (path, content) pair, order-independent via sort —
+    the same exact-match key scheme as ``results/.cache``."""
+    h = hashlib.sha256()
+    for path in sorted(sources):
+        h.update(path.replace(os.sep, "/").encode())
+        h.update(b"\0")
+        h.update(sources[path].encode("utf-8", "backslashreplace"))
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def load_project(
+    paths: Iterable[str],
+    root: str | None = None,
+    cache_dir: str = os.path.join("results", ".cache"),
+) -> ProjectContext:
+    """Build (or load from the content-addressed cache) a project context.
+
+    The cache key is the digest of every analyzed source file, so edits
+    invalidate by construction; ``REPRO_CACHE=0`` disables the cache both
+    ways.  Corrupt or unreadable cache entries fall back to a fresh build.
+    """
+    sources = _collect_sources(paths, root)
+    digest = _digest_sources(sources)
+    cache_file = os.path.join(cache_dir, f"analysis_project_{digest[:32]}.pkl")
+    if cache_enabled() and os.path.exists(cache_file):
+        try:
+            with open(cache_file, "rb") as fh:
+                cached = pickle.load(fh)
+            if isinstance(cached, ProjectContext) and cached.digest == digest:
+                return cached
+        except Exception:
+            pass  # corrupt entry: fall through to a fresh build
+    project = ProjectContext.from_sources(sources)
+    project.digest = digest
+    if cache_enabled():
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            tmp = f"{cache_file}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump(project, fh)
+            os.replace(tmp, cache_file)
+        except OSError:
+            pass  # best-effort; the analysis itself never depends on the cache
+    return project

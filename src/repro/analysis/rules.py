@@ -495,18 +495,23 @@ class SimTimeEqualityRule:
     """SIM001: simulated-time floats are never compared with ``==``.
 
     Event times are sums of float delays; two paths to "the same" instant
-    differ in the last ulp, so ``==`` on them encodes a coincidence of
-    rounding, not a protocol condition.  Compare with ``<=`` ordering or
-    explicit tolerances.
+    differ in the last ulp, so ``==`` (and ``!=``) on them encodes a
+    coincidence of rounding, not a protocol condition.  Compare with ``<=``
+    ordering, or use :func:`repro.sim.times_close` for same-instant checks.
     """
 
     rule_id = "SIM001"
     severity = "warning"
-    summary = "float == on simulated-time values"
+    summary = "float ==/!= on simulated-time values"
 
     _TIMEY = re.compile(r"^_?now$|_time$|_at$|^deadline$")
 
+    #: Where the tolerance helper itself lives — its internals are exempt.
+    EXEMPT_SUFFIXES = ("sim/timers.py",)
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.path.endswith(self.EXEMPT_SUFFIXES):
+            return
         for node in ctx.nodes(ast.Compare):
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
@@ -525,8 +530,8 @@ class SimTimeEqualityRule:
                 self,
                 node,
                 f"`==`/`!=` on simulated-time value `{timey}`; float event "
-                "times accumulate rounding — use ordering comparisons or an "
-                "explicit tolerance",
+                "times accumulate rounding — use ordering comparisons or "
+                "repro.sim.times_close(a, b) for same-instant checks",
             )
 
     @classmethod
@@ -684,12 +689,21 @@ class RoundScanInLoopRule:
 
 
 def default_rules() -> list[Rule]:
-    """The shipped rule pack, in rule-id order."""
+    """The shipped rule pack, in rule-id order.
+
+    Includes the interprocedural pack (:mod:`repro.analysis.flow_rules`);
+    those rules carry ``requires_project = True`` and are skipped by the
+    engine unless the analyzer holds a
+    :class:`~repro.analysis.project.ProjectContext`.
+    """
+    from .flow_rules import flow_rules
+
     return [
         RawRandomRule(),
         WallClockRule(),
         UnsortedSetIterRule(),
         IdentityOrderRule(),
+        *flow_rules(),
         MessageShapeRule(),
         MutateAfterSendRule(),
         SimTimeEqualityRule(),

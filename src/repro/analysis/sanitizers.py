@@ -175,6 +175,16 @@ def stream_count() -> int:
     return len(_exclusive_streams) + len(_shared_streams)
 
 
+def observed_streams() -> list[tuple[tuple[str, ...], bool]]:
+    """Every stream derived since the last run boundary, as
+    ``(labels, shared)`` pairs — the runtime inventory RNG001's static
+    inventory is cross-checked against (``tests/analysis``)."""
+    return sorted(
+        [(labels, False) for _seed, labels in _exclusive_streams]
+        + [(labels, True) for _seed, labels in _shared_streams]
+    )
+
+
 # -- scheduler tie-order audit ------------------------------------------------
 
 

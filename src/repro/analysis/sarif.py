@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 export for ``python -m repro analyze --sarif PATH``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file from the CI ``analyze`` job turns each
+finding into an inline PR annotation at the offending line.  Only the
+*new* (non-baselined) findings are exported — grandfathered ones would
+re-annotate every PR forever.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .engine import Finding
+
+#: repro-analyze severity → SARIF level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(findings: Iterable[Finding], rules: Iterable[object]) -> dict:
+    """Build the SARIF document as a plain dict (one run, one driver)."""
+    rule_meta = []
+    seen: set[str] = set()
+    for rule in rules:
+        rule_id = getattr(rule, "rule_id", None)
+        if rule_id is None or rule_id in seen:
+            continue
+        seen.add(rule_id)
+        rule_meta.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": getattr(rule, "summary", rule_id)},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(getattr(rule, "severity", "warning"), "warning")
+                },
+            }
+        )
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                            "snippet": {"text": finding.snippet},
+                        },
+                    }
+                }
+            ],
+            # Stable fingerprint so code scanning tracks a finding across
+            # pushes the same way the baseline does: rule + path + snippet.
+            "partialFingerprints": {
+                "reproAnalyzeKey/v1": "|".join(finding.baseline_key)
+            },
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, findings: Iterable[Finding], rules: Iterable[object]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(sarif_report(findings, rules), fh, indent=2)
+        fh.write("\n")

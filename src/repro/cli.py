@@ -300,6 +300,44 @@ ANALYZE_DEFAULT_PATHS = ("src/repro",)
 ANALYZE_DEFAULT_BASELINE = "analysis_baseline.json"
 
 
+def _git_changed_files(targets: list[str]) -> list[str] | None:
+    """Python files under ``targets`` that differ from the git merge-base
+    with the main branch (plus untracked files) — the ``--changed`` lane.
+    Returns ``None`` when git is unavailable or this is not a work tree.
+    """
+    import os
+    import subprocess
+
+    def git(*cmd: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *cmd], capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    base = None
+    for ref in ("origin/main", "main", "origin/master", "master"):
+        out = git("merge-base", "HEAD", ref)
+        if out:
+            base = out.strip()
+            break
+    diff = git("diff", "--name-only", base) if base else git("diff", "--name-only", "HEAD")
+    if diff is None:
+        return None
+    untracked = git("ls-files", "--others", "--exclude-standard") or ""
+    changed = set()
+    prefixes = tuple(t.rstrip("/") + "/" for t in targets)
+    for name in (*diff.splitlines(), *untracked.splitlines()):
+        name = name.strip()
+        if not name.endswith(".py") or not os.path.exists(name):
+            continue
+        if name in targets or name.startswith(prefixes):
+            changed.add(name)
+    return sorted(changed)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
     import os
@@ -310,10 +348,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         load_baseline,
         write_baseline,
     )
+    from .analysis.project import load_project
 
     paths = args.paths or list(ANALYZE_DEFAULT_PATHS)
-    analyzer = Analyzer()
-    findings = analyzer.run(paths)
+    # The interprocedural rules need the whole program even when only a
+    # subset of files is being reported on, so the project context is always
+    # built over the full target set (content-addressed cache keyed on the
+    # source digest keeps repeat builds cheap).
+    project = load_project(paths)
+    if args.changed:
+        changed = _git_changed_files(paths)
+        if changed is None:
+            print("analyze --changed requires git and a work tree")
+            return 2
+        if not changed:
+            print("no changed python files under " + " ".join(paths))
+            return 0
+        analysis_paths = changed
+    else:
+        analysis_paths = paths
+    analyzer = Analyzer(project=project)
+    findings = analyzer.run(analysis_paths)
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(ANALYZE_DEFAULT_BASELINE):
@@ -328,6 +383,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     baseline = load_baseline(baseline_path) if baseline_path else {}
     split = apply_baseline(findings, baseline)
+
+    if args.sarif:
+        from .analysis.sarif import write_sarif
+
+        write_sarif(args.sarif, split.new, analyzer.rules)
 
     if args.json:
         payload = {
@@ -483,6 +543,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    analyze.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only on files differing from the git merge-base with "
+            "main (fast pre-commit lane; interprocedural rules still see "
+            "the whole program)"
+        ),
+    )
+    analyze.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write new findings as SARIF 2.1.0 (GitHub code scanning)",
     )
     analyze.set_defaults(fn=_cmd_analyze)
 

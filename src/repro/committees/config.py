@@ -81,6 +81,11 @@ class ClanConfig:
         return quorum_size(self.n)
 
     @property
+    def ready_amplify(self) -> int:
+        """READYs that prove one honest sender at tribe level: f + 1."""
+        return self.f + 1
+
+    @property
     def num_clans(self) -> int:
         return len(self.clans)
 

@@ -53,7 +53,7 @@ from ..rbc.prefix import (
 )
 from ..rbc.retrieval import Responder, Retriever
 from ..sim.scheduler import Simulator
-from ..types import NodeId, Round
+from ..types import NodeId, Round, clan_response_quorum
 from .messages import (
     VertexCertMsg,
     VertexEchoMsg,
@@ -177,7 +177,7 @@ class VertexRbc:
         #: verified chunk holdings for an instance grow (node completion).
         self.on_chunk = None
         self._quorum = clan_cfg.quorum
-        self._amplify = clan_cfg.f + 1
+        self._amplify = clan_cfg.ready_amplify
         self._block_retriever = Retriever(
             node_id, network, sim, self._on_pulled_block, retry_timeout, channel="block"
         )
@@ -497,7 +497,7 @@ class VertexRbc:
             return False
         clan = state.clan
         if clan is not None:
-            clan_quorum = (len(clan) + 1) // 2  # f_c + 1
+            clan_quorum = clan_response_quorum(len(clan))  # f_c + 1
             if state.clan_echo_counts.get(digest_, 0) < clan_quorum:
                 return False
         return True
@@ -546,7 +546,7 @@ class VertexRbc:
             return
         if self.verify:
             clan = state.clan
-            clan_quorum = (len(clan) + 1) // 2 if clan is not None else 0
+            clan_quorum = clan_response_quorum(len(clan)) if clan is not None else 0
             if not verify_certificate(
                 self.pki, msg.cert, self._quorum, clan, clan_quorum
             ):

@@ -13,6 +13,13 @@ Public API:
 
 from .rng import make_rng, stream_seed
 from .scheduler import EventHandle, Simulator
-from .timers import Timer
+from .timers import Timer, times_close
 
-__all__ = ["Simulator", "EventHandle", "Timer", "make_rng", "stream_seed"]
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Timer",
+    "make_rng",
+    "stream_seed",
+    "times_close",
+]

@@ -10,6 +10,22 @@ from typing import Any, Callable
 
 from .scheduler import EventHandle, Simulator
 
+#: Simulated-time instants closer than this are the same instant.  Event
+#: times are sums of float delays well below 10⁴ seconds, so a nanosecond
+#: of slack absorbs accumulated ulp error without ever merging two events
+#: the latency model meant to separate (its minimum delay is ≥ 1 µs).
+TIME_TOLERANCE = 1e-9
+
+
+def times_close(a: float, b: float, tol: float = TIME_TOLERANCE) -> bool:
+    """Whether two simulated-time values denote the same instant.
+
+    Two paths to "the same" time differ in the last ulp (float addition is
+    not associative), so ``==``/``!=`` on event times encodes a coincidence
+    of rounding.  This is the comparison SIM001 points at.
+    """
+    return abs(a - b) <= tol
+
 
 class Timer:
     """A one-shot timer that can be (re)started and cancelled.

@@ -151,3 +151,186 @@ def test_cli_exit_code_on_new_findings(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert main(["analyze", "mod.py"]) == 1
     assert "DET002" in capsys.readouterr().out
+
+
+# -- baseline edge cases -------------------------------------------------------
+
+
+def test_baseline_stale_after_flagged_line_is_edited(tmp_path):
+    """Editing the flagged line changes its snippet key: the finding comes
+    back as *new* and the old entry is reported stale — grandfathering
+    never survives a rewrite of the offending code."""
+    findings = Analyzer().analyze_source(BAD_SOURCE, path="pkg/mod.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(findings, str(baseline_file))
+
+    edited = BAD_SOURCE.replace("return time.time()", "return 1 + time.time()")
+    edited_findings = Analyzer().analyze_source(edited, path="pkg/mod.py")
+    assert edited_findings, "edited source still violates DET002"
+
+    split = apply_baseline(edited_findings, load_baseline(str(baseline_file)))
+    assert len(split.new) == 1
+    assert split.baselined == ()
+    assert len(split.stale) == 1
+    assert split.stale[0][0] == "DET002"
+
+
+def test_suppression_on_multiline_statement_any_line(tmp_path):
+    # The allow comment sits on the closing line; the finding anchors on an
+    # inner line of the same (simple) statement.
+    source = textwrap.dedent(
+        """\
+        def same(a, b):
+            return (
+                id(a) ==
+                id(b)
+            )  # repro: allow[DET004]
+        """
+    )
+    analyzer = Analyzer()
+    assert analyzer.analyze_source(source) == []
+    assert analyzer.suppressed == 2  # one per id() call, both on inner lines
+
+
+def test_suppression_wildcard_on_multiline_compound_header():
+    # allow[*] on the last header line of a multi-line `for` covers the
+    # finding anchored on the iterable, but not the loop body.
+    source = textwrap.dedent(
+        """\
+        def gossip(net, peers):
+            members = set(peers)
+            for p in (
+                members
+            ):  # repro: allow[*]
+                net.send(0, p, None)
+        """
+    )
+    analyzer = Analyzer()
+    assert analyzer.analyze_source(source) == []
+    assert analyzer.suppressed == 1
+
+
+def test_suppression_inside_body_does_not_blanket_function():
+    # An allow comment on a body line must not cover sibling statements.
+    source = textwrap.dedent(
+        """\
+        import time
+
+        def stamps():
+            a = time.time()  # repro: allow[DET002]
+            b = time.time()
+            return a, b
+        """
+    )
+    analyzer = Analyzer()
+    findings = analyzer.analyze_source(source)
+    assert [f.line for f in findings] == [5]
+    assert analyzer.suppressed == 1
+
+
+def test_cli_json_reports_suppression_count(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "t = time.time()  # repro: allow[DET002]\n"
+        "u = time.time()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    rc = main(["analyze", "mod.py", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["suppressed"] == 1
+    assert payload["new_count"] == 1
+
+
+# -- SARIF export --------------------------------------------------------------
+
+
+def test_cli_sarif_export(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+
+    rc = main(["analyze", "mod.py", "--sarif", "out.sarif"])
+    capsys.readouterr()
+    assert rc == 1
+    doc = json.loads((tmp_path / "out.sarif").read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"DET002", "QRM001", "RNG001", "MSG003", "DET005"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "DET002"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "mod.py"
+    assert location["region"]["startLine"] == 4
+    assert result["partialFingerprints"]["reproAnalyzeKey/v1"]
+
+
+def test_cli_sarif_baselined_findings_not_exported(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["analyze", "mod.py", "--baseline", "b.json", "--write-baseline"]) == 0
+    assert main(["analyze", "mod.py", "--baseline", "b.json", "--sarif", "out.sarif"]) == 0
+    capsys.readouterr()
+    doc = json.loads((tmp_path / "out.sarif").read_text())
+    assert doc["runs"][0]["results"] == []
+
+
+# -- --changed lane ------------------------------------------------------------
+
+
+def _git(tmp_path, *cmd):
+    import subprocess
+
+    subprocess.run(
+        ["git", *cmd],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+            "PATH": __import__("os").environ["PATH"],
+        },
+    )
+
+
+def test_cli_changed_reports_only_diffed_files(tmp_path, capsys, monkeypatch):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    # A committed violation --changed must NOT report on...
+    (pkg / "old.py").write_text(BAD_SOURCE)
+    _git(tmp_path, "init", "-q", "-b", "main")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    # ...and an uncommitted one it must.
+    (pkg / "fresh.py").write_text("import time\nstamp = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+
+    rc = main(["analyze", "--changed", "pkg"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "fresh.py" in out
+    assert "old.py" not in out
+    assert "1 files" in out
+
+
+def test_cli_changed_with_no_changes_exits_clean(tmp_path, capsys, monkeypatch):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "old.py").write_text(BAD_SOURCE)
+    _git(tmp_path, "init", "-q", "-b", "main")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+
+    rc = main(["analyze", "--changed", "pkg"])
+    assert rc == 0
+    assert "no changed python files" in capsys.readouterr().out

@@ -1,0 +1,453 @@
+"""Interprocedural rules: bad/good fixtures plus seeded deliberate violations.
+
+Each rule gets the failing snippet / clean counterpart pairing of the
+per-file rules, and — per the whole-program contract — a fixture seeding a
+deliberate violation of each class: magic quorum literal, colliding stream
+name, unregistered message, interprocedural unordered-iteration sink.
+"""
+
+import textwrap
+
+from repro.analysis.engine import Analyzer
+from repro.analysis.project import ProjectContext
+
+#: Minimal Message base so fixtures can subclass it.
+MESSAGE_BASE = """\
+class Message:
+    pass
+"""
+
+
+def run(sources, report_on=None, rules=None):
+    """Analyze ``{path: source}`` with a project built over all of them;
+    findings are collected for ``report_on`` (default: every file)."""
+    files = {path: textwrap.dedent(src) for path, src in sources.items()}
+    project = ProjectContext.from_sources(files)
+    analyzer = Analyzer(rules=rules, project=project)
+    findings = []
+    for path, src in sorted(files.items()):
+        if report_on is None or path == report_on:
+            findings.extend(analyzer.analyze_source(src, path=path))
+    return findings
+
+
+def rule_ids(sources, report_on=None):
+    return [f.rule for f in run(sources, report_on=report_on)]
+
+
+# -- QRM001: quorum re-derivation ---------------------------------------------
+
+CONS = "src/repro/consensus/quorums.py"
+
+
+def test_qrm001_flags_2f_plus_1():
+    findings = run({CONS: """\
+        def decide(votes, f):
+            return len(votes) >= 2 * f + 1
+        """})
+    assert [f.rule for f in findings] == ["QRM001"]
+    assert "re-derives" in findings[0].message
+
+
+def test_qrm001_flags_f_plus_1_and_n_minus_f():
+    ids = rule_ids({CONS: """\
+        def thresholds(n, f):
+            amplify = f + 1
+            available = n - f
+            return amplify, available
+        """})
+    assert ids == ["QRM001", "QRM001"]
+
+
+def test_qrm001_flags_clan_majority_rederivation():
+    # The exact bug class fixed in vertex_rbc: (len(clan)+1)//2 by hand.
+    assert rule_ids({CONS: """\
+        def clan_quorum_met(clan, count):
+            return count >= (len(clan) + 1) // 2
+        """}) == ["QRM001"]
+
+
+def test_qrm001_flags_magic_quorum_literal():
+    findings = run({CONS: """\
+        def enough(votes):
+            return len(votes) >= 5
+        """})
+    assert [f.rule for f in findings] == ["QRM001"]
+    assert "magic integer literal" in findings[0].message
+
+
+def test_qrm001_canonical_helper_call_is_clean():
+    assert rule_ids({CONS: """\
+        def decide(self, votes):
+            return len(votes) >= self.membership.quorum
+        """}) == []
+
+
+def test_qrm001_canonical_definition_site_is_exempt():
+    # A function *named* as a canonical helper is the derivation site.
+    assert rule_ids({CONS: """\
+        def quorum_size(n, f):
+            return n - f
+        """}) == []
+
+
+def test_qrm001_out_of_scope_path_is_clean():
+    assert rule_ids({"src/repro/committees/sampling.py": """\
+        def majority(n_c):
+            return (n_c + 1) // 2
+        """}) == []
+
+
+def test_qrm001_non_threshold_arithmetic_is_clean():
+    assert rule_ids({CONS: """\
+        def shapes(xs, chunk_index):
+            mid = (len(xs) + 1) // 2  # size-ish but xs isn't, so: flagged?
+            return chunk_index + 1
+        """}) == []
+
+
+def test_qrm001_structural_comparisons_are_clean():
+    # "non-empty" / pair checks on count names are structure, not quorums.
+    assert rule_ids({CONS: """\
+        def structural(votes):
+            return len(votes) >= 1 and len(votes) == 0
+        """}) == []
+
+
+# -- RNG001: stream inventory --------------------------------------------------
+
+RNG_A = "src/repro/net/alpha.py"
+RNG_B = "src/repro/net/beta.py"
+
+
+def test_rng001_cross_module_collision_is_error():
+    findings = run(
+        {
+            RNG_A: """\
+            from repro.sim.rng import make_rng
+            rng = make_rng(0, "jitter")
+            """,
+            RNG_B: """\
+            from repro.sim.rng import make_rng
+            rng = make_rng(0, "jitter")
+            """,
+        }
+    )
+    assert [(f.rule, f.severity) for f in findings] == [
+        ("RNG001", "error"),
+        ("RNG001", "error"),
+    ]
+    assert "collide" in findings[0].message
+
+
+def test_rng001_shared_streams_do_not_collide():
+    assert rule_ids(
+        {
+            RNG_A: 'from repro.sim.rng import make_rng\nr = make_rng(0, "beacon", shared=True)\n',
+            RNG_B: 'from repro.sim.rng import make_rng\nr = make_rng(0, "beacon", shared=True)\n',
+        }
+    ) == []
+
+
+def test_rng001_shared_exclusive_mix_is_error():
+    findings = run(
+        {
+            RNG_A: 'from repro.sim.rng import make_rng\nr = make_rng(0, "beacon", shared=True)\n',
+            RNG_B: 'from repro.sim.rng import make_rng\nr = make_rng(0, "beacon")\n',
+        }
+    )
+    assert {f.rule for f in findings} == {"RNG001"}
+    assert all("shared and exclusive" in f.message for f in findings)
+
+
+def test_rng001_dynamic_first_label_is_warning():
+    findings = run(
+        {RNG_A: """\
+        from repro.sim.rng import make_rng
+
+        def stream(seed, name):
+            return make_rng(seed, name)
+        """}
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("RNG001", "warning")]
+    assert "escapes static resolution" in findings[0].message
+
+
+def test_rng001_unlabelled_stream_is_error():
+    findings = run(
+        {RNG_A: "from repro.sim.rng import make_rng\nr = make_rng(0)\n"}
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("RNG001", "error")]
+
+
+def test_rng001_distinct_labels_and_dynamic_suffixes_are_clean():
+    assert rule_ids(
+        {
+            RNG_A: """\
+            from repro.sim.rng import make_rng
+
+            def streams(seed, src, dst):
+                return make_rng(seed, "lossy-link", src, dst)
+            """,
+            RNG_B: 'from repro.sim.rng import make_rng\nr = make_rng(0, "geo-latency")\n',
+        }
+    ) == []
+
+
+# -- MSG003: dispatch reachability + stale fields ------------------------------
+
+MSG_DEF = "src/repro/consensus/messages.py"
+MSG_USE = "src/repro/consensus/node.py"
+
+
+def test_msg003_unregistered_message_flagged_at_construction():
+    findings = run(
+        {
+            "src/repro/net/message.py": MESSAGE_BASE,
+            MSG_DEF: """\
+            from repro.net.message import Message
+
+            class GhostMsg(Message):
+                round: int
+            """,
+            MSG_USE: """\
+            from .messages import GhostMsg
+
+            def propose(net):
+                net.broadcast(0, GhostMsg(1))
+            """,
+        },
+        report_on=MSG_USE,
+    )
+    assert [f.rule for f in findings] == ["MSG003"]
+    assert "silently dropped" in findings[0].message
+
+
+def test_msg003_dispatch_table_key_makes_message_handled():
+    assert rule_ids(
+        {
+            "src/repro/net/message.py": MESSAGE_BASE,
+            MSG_DEF: """\
+            from dataclasses import dataclass
+
+            from repro.net.message import Message
+
+            @dataclass(slots=True)
+            class EchoMsg(Message):
+                round: int
+
+                def wire_size(self):
+                    return 8
+            """,
+            MSG_USE: """\
+            from .messages import EchoMsg
+
+            class Node:
+                def dispatch_table(self):
+                    return {EchoMsg: self._on_echo}
+
+                def propose(self):
+                    self.net.broadcast(0, EchoMsg(1))
+
+                def _on_echo(self, src, msg):
+                    pass
+            """,
+        }
+    ) == []
+
+
+def test_msg003_isinstance_chain_from_register_root_is_handled():
+    assert rule_ids(
+        {
+            "src/repro/net/message.py": MESSAGE_BASE,
+            MSG_USE: """\
+            from repro.net.message import Message
+
+            class PingMsg(Message):
+                __slots__ = ()
+
+                def wire_size(self):
+                    return 8
+
+            class Node:
+                def __init__(self, net, node_id):
+                    net.register(node_id, self._on_message)
+                    net.send(0, 1, PingMsg())
+
+                def _on_message(self, src, msg):
+                    if isinstance(msg, PingMsg):
+                        pass
+            """,
+        }
+    ) == []
+
+
+def test_msg003_stale_field_read_in_annotated_handler():
+    findings = run(
+        {
+            "src/repro/net/message.py": MESSAGE_BASE,
+            MSG_USE: """\
+            from dataclasses import dataclass
+
+            from repro.net.message import Message
+
+            @dataclass(slots=True)
+            class VoteMsg(Message):
+                round: int
+
+                def wire_size(self):
+                    return 8
+
+            class Node:
+                def dispatch_table(self):
+                    return {VoteMsg: self._on_vote}
+
+                def _on_vote(self, src, msg: VoteMsg):
+                    return msg.round + msg.epoch
+            """,
+        }
+    )
+    assert [f.rule for f in findings] == ["MSG003"]
+    assert "msg.epoch" in findings[0].message
+    assert "stale read" in findings[0].message
+
+
+def test_msg003_declared_fields_methods_and_base_api_are_clean():
+    assert rule_ids(
+        {
+            "src/repro/net/message.py": MESSAGE_BASE,
+            MSG_USE: """\
+            from dataclasses import dataclass
+
+            from repro.net.message import Message
+
+            @dataclass(slots=True)
+            class VoteMsg(Message):
+                round: int
+                signed = True
+
+                def wire_size(self):
+                    return 8
+
+                def weight(self):
+                    return 1
+
+            class Node:
+                def dispatch_table(self):
+                    return {VoteMsg: self._on_vote}
+
+                def _on_vote(self, src, msg: VoteMsg):
+                    return (msg.round, msg.signed, msg.weight(), msg.wire_size())
+            """,
+        }
+    ) == []
+
+
+# -- DET005: interprocedural sink reachability ---------------------------------
+
+DET = "src/repro/consensus/gossip.py"
+
+
+def test_det005_one_hop_helper_reaching_send():
+    findings = run(
+        {DET: """\
+        class Node:
+            def gossip(self, peers):
+                members = set(peers)
+                for p in members:
+                    self._emit(p)
+
+            def _emit(self, p):
+                self.net.send(0, p, None)
+        """}
+    )
+    det5 = [f for f in findings if f.rule == "DET005"]
+    assert [(f.rule, f.severity) for f in det5] == [("DET005", "error")]
+    assert "_emit" in det5[0].message and "send" in det5[0].message
+    # DET003 still reports the unordered iteration itself (as a warning).
+    assert [f.rule for f in findings if f.rule == "DET003"] == ["DET003"]
+
+
+def test_det005_cross_module_two_hop_chain():
+    findings = run(
+        {
+            DET: """\
+            from .relay import forward
+
+            def flood(peers):
+                for p in set(peers):
+                    forward(p)
+            """,
+            "src/repro/consensus/relay.py": """\
+            def forward(p):
+                deliver(p)
+
+            def deliver(p):
+                schedule(0.1, p)
+            """,
+        },
+        report_on=DET,
+    )
+    assert "DET005" in [f.rule for f in findings]
+
+
+def test_det005_direct_sink_left_to_det003():
+    findings = run(
+        {DET: """\
+        def gossip(net, peers):
+            for p in set(peers):
+                net.send(0, p, None)
+        """}
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("DET003", "error")]
+
+
+def test_det005_sorted_iteration_is_clean():
+    assert rule_ids(
+        {DET: """\
+        class Node:
+            def gossip(self, peers):
+                for p in sorted(set(peers)):
+                    self._emit(p)
+
+            def _emit(self, p):
+                self.net.send(0, p, None)
+        """}
+    ) == []
+
+
+def test_det005_sink_free_helper_is_warning_only():
+    findings = run(
+        {DET: """\
+        class Node:
+            def tally(self, votes):
+                for v in set(votes):
+                    self._count(v)
+
+            def _count(self, v):
+                self.total += 1
+        """}
+    )
+    assert [f.rule for f in findings] == ["DET003"]  # plain warning, no DET005
+
+
+# -- engine integration --------------------------------------------------------
+
+
+def test_project_rules_skipped_without_project():
+    analyzer = Analyzer()  # no project: interprocedural rules must not run
+    findings = analyzer.analyze_source(
+        "def decide(votes, f):\n    return len(votes) >= 2 * f + 1\n",
+        path=CONS,
+    )
+    assert findings == []
+
+
+def test_suppression_applies_to_flow_rules():
+    findings = run(
+        {CONS: """\
+        def decide(votes, f):
+            return len(votes) >= 2 * f + 1  # repro: allow[QRM001]
+        """}
+    )
+    assert findings == []

@@ -1,0 +1,276 @@
+"""ProjectContext: symbol tables, call graph, message/RNG inventories, cache."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.project import (
+    ProjectContext,
+    load_project,
+    rng_sites_in,
+)
+
+
+def build(**sources):
+    """Build a project from ``{dotted_file_name: source}`` kwargs
+    (``consensus_node`` → ``src/repro/consensus/node.py``)."""
+    files = {
+        "src/repro/" + name.replace("_", "/", 1) + ".py": textwrap.dedent(src)
+        for name, src in sources.items()
+    }
+    return ProjectContext.from_sources(files)
+
+
+# -- symbol tables -------------------------------------------------------------
+
+
+def test_modules_classes_functions_indexed():
+    project = build(
+        net_message="""\
+        class Message:
+            pass
+        """,
+        consensus_node="""\
+        from repro.net.message import Message
+
+        class VoteMsg(Message):
+            round: int
+
+        def tally(votes):
+            return len(votes)
+
+        class Node:
+            def commit(self):
+                self.height = 1
+        """,
+    )
+    assert project.modules["repro.consensus.node"] == "src/repro/consensus/node.py"
+    assert "VoteMsg" in project.classes
+    assert "tally" in project.functions
+    commit = project.functions["commit"][0]
+    assert commit.cls == "Node"
+    assert commit.qualname == "repro.consensus.node.Node.commit"
+    # self.height assignment in a method registers as a class field.
+    assert "height" in project.classes["Node"][0].fields
+
+
+def test_message_closure_is_transitive():
+    project = build(
+        net_message="""\
+        class Message:
+            pass
+        """,
+        rbc_messages="""\
+        from repro.net.message import Message
+
+        class BaseMsg(Message):
+            origin: int
+
+        class EchoMsg(BaseMsg):
+            digest: bytes
+        """,
+    )
+    assert project.message_classes == {"BaseMsg", "EchoMsg"}
+    # Inherited fields and the Message base API are visible on the subclass.
+    fields = project.message_fields["EchoMsg"]
+    assert {"digest", "origin", "wire_size", "kind"} <= fields
+
+
+def test_handled_via_dispatch_dict_and_subscript():
+    project = build(
+        consensus_node="""\
+        from repro.net.message import Message
+
+        class EchoMsg(Message):
+            pass
+
+        class NoVoteMsg(Message):
+            pass
+
+        class DropMsg(Message):
+            pass
+
+        class Node:
+            def dispatch_table(self):
+                return {EchoMsg: self._on_echo}
+
+            def wire(self, network, table):
+                table[NoVoteMsg] = self._on_no_vote
+                network.set_dispatch(0, table)
+        """,
+    )
+    assert "EchoMsg" in project.handled_messages
+    assert "NoVoteMsg" in project.handled_messages
+    assert "DropMsg" not in project.handled_messages
+
+
+def test_handled_via_isinstance_reachable_from_register_root():
+    project = build(
+        net_transport="""\
+        from repro.net.message import Message
+
+        class DataMsg(Message):
+            seq: int
+
+        class AckMsg(Message):
+            seq: int
+
+        class OrphanMsg(Message):
+            pass
+
+        class Transport:
+            def attach(self, net, node_id):
+                net.register(node_id, lambda src, msg: self._on_raw(node_id, src, msg))
+
+            def _on_raw(self, dst, src, msg):
+                if isinstance(msg, AckMsg):
+                    return self._ack(msg)
+                if isinstance(msg, DataMsg):
+                    return self._data(msg)
+
+        def dead_code(msg):
+            # isinstance in a function nothing registers: not a handler.
+            return isinstance(msg, OrphanMsg)
+        """,
+    )
+    assert {"DataMsg", "AckMsg"} <= project.handled_messages
+    assert "OrphanMsg" not in project.handled_messages
+
+
+def test_sink_closure_is_transitive():
+    project = build(
+        consensus_node="""\
+        class Node:
+            def _emit(self, p):
+                self._really_emit(p)
+
+            def _really_emit(self, p):
+                self.net.send(0, p, None)
+
+            def _pure(self, p):
+                return p + 1
+        """,
+    )
+    assert project.sink_reachers.get("_really_emit") == "send"
+    assert project.sink_reachers.get("_emit") == "send"
+    assert "_pure" not in project.sink_reachers
+    assert project.reaches_sink("send") == "send"
+    assert project.reaches_sink("_pure") is None
+
+
+def test_canonical_defs_from_module_and_static_names():
+    project = build(
+        types="""\
+        def my_threshold(n):
+            return (2 * ((n - 1) // 3)) + 1
+
+        def _private_helper(n):
+            return n
+        """,
+    )
+    # Public defs in repro.types are canonical; private ones are not.
+    assert "my_threshold" in project.canonical_quorum_defs
+    assert "_private_helper" not in project.canonical_quorum_defs
+    # The static fallback names are always present (fixture runs).
+    assert "quorum_size" in project.canonical_quorum_defs
+
+
+# -- RNG inventory -------------------------------------------------------------
+
+RNG_SOURCE = """\
+from repro.sim.rng import make_rng
+
+def streams(seed, node_id):
+    a = make_rng(seed, "jitter", node_id)
+    b = make_rng(seed, "leader-schedule", shared=True)
+    c = make_rng(seed, node_id)
+    return a, b, c
+"""
+
+
+def test_rng_sites_resolution():
+    project = build(net_latency=RNG_SOURCE)
+    sites = sorted(project.rng_sites, key=lambda s: s.line)
+    assert [s.labels for s in sites] == [
+        ("jitter", None),
+        ("leader-schedule",),
+        (None,),
+    ]
+    assert [s.shared for s in sites] == [False, True, False]
+    assert sites[0].first_label == "jitter"
+    assert not sites[0].fully_constant
+    assert sites[1].fully_constant
+
+
+def test_rng_collisions_require_same_arity_and_constants():
+    project = build(
+        net_a="""\
+        from repro.sim.rng import make_rng
+        r1 = make_rng(0, "alpha")
+        """,
+        net_b="""\
+        from repro.sim.rng import make_rng
+        r2 = make_rng(0, "alpha")
+        r3 = make_rng(0, "alpha", 7)
+        r4 = make_rng(0, "beta")
+        """,
+    )
+    site_r1 = next(s for s in project.rng_sites if s.path.endswith("a.py"))
+    hits = project.rng_collisions(site_r1)
+    # Same label, same arity collides; extra-label and beta sites do not.
+    assert [h.labels for h in hits] == [("alpha",)]
+
+
+# -- cache ---------------------------------------------------------------------
+
+
+def test_load_project_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text("class Message:\n    pass\n")
+
+    first = load_project(["pkg"], cache_dir=str(tmp_path / "cache"))
+    assert first.digest
+    cached_files = list((tmp_path / "cache").glob("analysis_project_*.pkl"))
+    assert len(cached_files) == 1
+
+    # A second load must come from the pickle, not a re-parse.
+    def boom(_sources):
+        raise AssertionError("cache miss: from_sources re-invoked")
+
+    monkeypatch.setattr(ProjectContext, "from_sources", staticmethod(boom))
+    second = load_project(["pkg"], cache_dir=str(tmp_path / "cache"))
+    assert second.digest == first.digest
+    assert second.modules == first.modules
+
+    # Any source edit is a miss by construction.
+    (pkg / "mod.py").write_text("class Message:\n    x = 1\n")
+    with pytest.raises(AssertionError, match="cache miss"):
+        load_project(["pkg"], cache_dir=str(tmp_path / "cache"))
+
+
+def test_cache_disabled_by_env(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text("x = 1\n")
+    load_project(["pkg"], cache_dir=str(tmp_path / "cache"))
+    assert not (tmp_path / "cache").exists()
+
+
+def test_parse_error_files_are_skipped():
+    project = ProjectContext.from_sources({"bad.py": "def broken(:\n"})
+    assert project.modules == {}
+
+
+def test_rng_sites_in_matches_project_inventory():
+    import ast
+
+    from repro.analysis.engine import FileContext
+
+    source = textwrap.dedent(RNG_SOURCE)
+    ctx = FileContext("src/repro/net/latency.py", source, ast.parse(source))
+    project = build(net_latency=RNG_SOURCE)
+    assert rng_sites_in(ctx) == project.rng_sites

@@ -1,0 +1,55 @@
+"""RNG001's static stream inventory vs the runtime sanitizer registry.
+
+The acceptance contract for the whole-program pass: a chaos smoke run under
+``REPRO_SANITIZE=1`` must not derive any stream the static inventory missed.
+If this fails, either a ``make_rng`` call site escaped ``ProjectContext``
+(rule bug) or a new stream was added with a dynamic first label (code bug —
+RNG001 would flag it as escaping static resolution).
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import sanitizers
+from repro.analysis.project import ORDER_SINKS, ProjectContext
+from repro.analysis.rules import _ORDER_SINKS
+from repro.chaos import SMOKE_SCENARIOS, run_scenario
+
+#: The real source tree, located from the imported package so the test works
+#: regardless of the pytest invocation directory.
+SRC_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
+
+def test_static_inventory_fully_resolves_real_tree():
+    project = ProjectContext.build(["repro"], root=SRC_ROOT)
+    assert project.rng_sites, "no make_rng sites found — wrong root?"
+    for site in project.rng_sites:
+        assert site.labels, f"unlabelled make_rng at {site.path}:{site.line}"
+        assert site.first_label is not None, (
+            f"dynamic first label at {site.path}:{site.line} — the "
+            "runtime cross-check below would be unsound"
+        )
+
+
+def test_runtime_streams_covered_by_static_inventory(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    run_scenario(SMOKE_SCENARIOS[0])
+    observed = sanitizers.observed_streams()
+    assert observed, "smoke run derived no RNG streams; cross-check is vacuous"
+
+    project = ProjectContext.build(["repro"], root=SRC_ROOT)
+    static = {(site.first_label, site.shared) for site in project.rng_sites}
+
+    for labels, shared in observed:
+        assert labels, f"runtime stream with empty labels: {labels!r}"
+        assert (labels[0], shared) in static, (
+            f"runtime stream {labels!r} (shared={shared}) has no static "
+            "make_rng site with that first label and sharing mode — the "
+            "static pass missed it"
+        )
+
+
+def test_order_sink_sets_stay_in_sync():
+    # DET003 (per-file) and DET005 (interprocedural) must agree on what
+    # counts as an order-sensitive sink, or escalation becomes lopsided.
+    assert ORDER_SINKS == _ORDER_SINKS

@@ -356,6 +356,29 @@ def test_sim001_none_check_is_clean():
     )
 
 
+def test_sim001_message_suggests_tolerance_helper():
+    findings = run(
+        """\
+        def due(sim, fire_at):
+            return sim.now != fire_at
+        """
+    )
+    assert [f.rule for f in findings] == ["SIM001"]
+    assert "times_close" in findings[0].message
+
+
+def test_sim001_tolerance_helper_module_is_exempt():
+    # times_close itself compares with <= tolerance; its home module must
+    # never be flagged for the comparisons it exists to encapsulate.
+    source = """\
+    def times_close(a, b, tol):
+        expires_at = a
+        return expires_at == b
+    """
+    assert rule_ids(source, path="src/repro/sim/timers.py") == []
+    assert rule_ids(source, path="src/repro/sim/other.py") == ["SIM001"]
+
+
 # -- OBS001: unguarded tracer emission in a loop ------------------------------
 
 

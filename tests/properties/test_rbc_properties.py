@@ -20,7 +20,7 @@ from repro.rbc.tribe_bracha import TribeBrachaRbc
 from repro.rbc.tribe_two_round import TribeTwoRoundRbc
 from repro.crypto.signatures import Pki
 from repro.sim import Simulator
-from repro.types import max_faults
+from repro.types import clan_max_faults, max_faults
 
 
 def build(n, clan, protocol, seed):
@@ -65,9 +65,22 @@ def test_rbc_properties_hold_in_random_worlds(world):
     sender = world["crash_pick"].randrange(n)
     crashes = set()
     if f > 0 and world["behaviour"] == "honest":
+        # Crash up to f tribe members, but never a clan majority: the
+        # tribe/clan construction assumes f_c <= ceil(n_c/2) - 1 faults per
+        # clan (payload retrieval needs a live honest clan majority), so a
+        # world that crashes more isn't one validity is promised in.
         count = world["crash_pick"].randint(0, f)
         candidates = [i for i in range(n) if i != sender]
-        crashes = set(world["crash_pick"].sample(candidates, count))
+        world["crash_pick"].shuffle(candidates)
+        clan_budget = clan_max_faults(len(clan))
+        for i in candidates:
+            if len(crashes) == count:
+                break
+            if i in membership.clan:
+                if clan_budget == 0:
+                    continue
+                clan_budget -= 1
+            crashes.add(i)
     pki_arg = pki if world["protocol"] == "two-round" else None
 
     if world["behaviour"] == "honest":

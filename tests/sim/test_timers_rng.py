@@ -68,3 +68,15 @@ def test_make_rng_streams_independent():
     a2 = make_rng(7, "x").random()
     assert a1 == a2
     assert a1 != b1
+
+
+def test_times_close_absorbs_float_accumulation():
+    from repro.sim import times_close
+
+    # Ten steps of 0.1 don't == 1.0 in floats; times_close says same instant.
+    t = 0.0
+    for _ in range(10):
+        t += 0.1
+    assert t != 1.0
+    assert times_close(t, 1.0)
+    assert not times_close(t, 1.1)
