@@ -210,9 +210,13 @@ def main(argv=None) -> int:
         "cpus": cpus,
         "core_speed": core,
         "grid": grid,
+        # Skipped sections are recorded with their reason, never omitted:
+        # --compare on another machine must be able to tell "not measured
+        # here" apart from "baseline predates the section".
+        "sparse_smoke": (
+            sparse if sparse is not None else {"skipped": "--skip-sparse-smoke"}
+        ),
     }
-    if sparse is not None:
-        result["sparse_smoke"] = sparse
     if args.baseline_eps:
         result["core_speed"]["baseline"] = args.baseline_eps
         result["core_speed"]["vs_baseline"] = round(core["best"] / args.baseline_eps, 3)
@@ -253,6 +257,17 @@ def main(argv=None) -> int:
             )
     if baseline is not None:
         # Explicit regression tolerances against the committed baseline.
+        # Skipped sections — on either side — are announced, never silently
+        # passed over: a 1-CPU runner comparing against a many-core baseline
+        # must still exit 0, but say which gates it could not apply.
+        if grid_skipped:
+            print(f"compare: parallel-grid gate skipped — {grid['skipped']}")
+        elif baseline.get("grid", {}).get("skipped"):
+            print(
+                "compare: baseline grid was skipped "
+                f"({baseline['grid']['skipped']}); gating the current grid "
+                "on its own speedup only"
+            )
         if not grid_skipped and cpus >= 4 and grid["speedup"] < 1.0:
             failures.append(
                 f"parallel engine slower than serial: speedup "
@@ -273,6 +288,9 @@ def main(argv=None) -> int:
                     f"{committed:,.0f} events/sec (floor {floor:,.0f}) — ok"
                 )
         committed_sparse = baseline.get("sparse_smoke", {}).get("events_per_sec")
+        if sparse is None or not committed_sparse:
+            side = "current run" if sparse is None else "baseline"
+            print(f"compare: sparse-smoke gate skipped — no data in {side}")
         if sparse is not None and committed_sparse:
             floor = committed_sparse * (1.0 - args.sparse_tolerance)
             if sparse["events_per_sec"] < floor:

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tracing-overhead gate: sampled causal tracing must stay cheap.
+
+Runs the smoke bench configuration twice — untraced, and with the full
+causal tracer attached at ``--sample`` (default 1/16) — and compares
+simulator events per wall second.  The CI gate fails when the traced run
+costs more than ``--max-overhead`` (default 5%) events/sec.
+
+Timing ratios are noisy on shared runners, so both sides take best-of
+``--trials`` and the gate allows ``--retries`` full re-measurements before
+declaring a real regression (the same protocol as
+``tests/obs/test_overhead.py``).
+
+Usage::
+
+    python scripts/obs_overhead.py                 # measure + gate at 5%
+    python scripts/obs_overhead.py --check         # exit 1 on breach
+    python scripts/obs_overhead.py --sample 1 --max-overhead 0.5
+"""
+
+import argparse
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.profiling import SMOKE_CONFIG  # noqa: E402
+from repro.bench.runner import _simulate  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
+
+
+def parse_sample(text: str) -> float:
+    if "/" in text:
+        num, _, den = text.partition("/")
+        return float(num) / float(den)
+    return float(text)
+
+
+def events_per_sec(tracer_factory, trials: int) -> float:
+    """Best-of-N events/sec for the smoke config under one tracer setup."""
+    best = 0.0
+    for _ in range(trials):
+        tracer = tracer_factory()
+        start = time.perf_counter()
+        metrics = _simulate(SMOKE_CONFIG, tracer=tracer)
+        wall = time.perf_counter() - start
+        best = max(best, metrics.sim_events / wall)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sample", default="1/16",
+        help="tracer head-sampling rate (float or ratio; default 1/16)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="allowed fractional events/sec cost of tracing (0.05 = 5%%)",
+    )
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="full re-measurements before declaring a regression",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when overhead exceeds --max-overhead",
+    )
+    args = parser.parse_args(argv)
+    sample = parse_sample(args.sample)
+
+    # Warm both paths so neither pays one-time setup costs in the timed runs.
+    _simulate(SMOKE_CONFIG)
+    _simulate(SMOKE_CONFIG, tracer=Tracer(sample=sample))
+
+    overhead = None
+    for attempt in range(1 + args.retries):
+        bare = events_per_sec(lambda: None, args.trials)
+        traced = events_per_sec(lambda: Tracer(sample=sample), args.trials)
+        overhead = 1.0 - traced / bare
+        print(
+            f"attempt {attempt + 1}: untraced {bare:,.0f} events/sec, "
+            f"traced@{args.sample} {traced:,.0f} events/sec "
+            f"-> overhead {overhead:+.1%} (budget {args.max_overhead:.0%})"
+        )
+        if overhead <= args.max_overhead:
+            print("OK: tracing overhead within budget")
+            return 0
+    if args.check:
+        print(
+            f"FAIL: tracing at sample={args.sample} costs {overhead:.1%} "
+            f"events/sec (> {args.max_overhead:.0%}) after "
+            f"{1 + args.retries} attempts",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"WARNING: overhead {overhead:.1%} above budget (no --check: exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -613,6 +613,82 @@ class UnguardedTracerRule:
         return False
 
 
+class UnbalancedSpanRule:
+    """OBS002: a keyed span ``begin`` whose handler never ``end``s it.
+
+    ``Tracer.begin(name, key)`` opens a pending keyed span that only becomes
+    a record when the matching ``Tracer.end(name, key)`` fires.  A handler
+    that opens a span but has no reachable ``end`` for the same span name
+    leaks the pending entry and silently loses the span from every report
+    and export.  Spans that intentionally close in a *different* handler
+    should carry a ``# repro: allow[OBS002]`` suppression naming the
+    closing site.
+    """
+
+    rule_id = "OBS002"
+    severity = "warning"
+    summary = "span begin without a matching end in the same handler"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        begins: dict[ast.AST | None, list[tuple[ast.Call, str, str]]] = {}
+        ends: dict[ast.AST | None, set[str]] = {}
+        for node in ctx.nodes(ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("begin", "end"):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) < 2 or parts[-2] not in ("tracer", "_tracer"):
+                continue
+            name = self._span_name(node)
+            if name is None:
+                continue  # dynamic span names can't be matched statically
+            scope = self._enclosing_function(ctx, node)
+            if node.func.attr == "begin":
+                begins.setdefault(scope, []).append((node, name, dotted))
+            else:
+                ends.setdefault(scope, set()).add(name)
+        for scope, opened in begins.items():
+            closed = ends.get(scope, set())
+            for node, name, dotted in opened:
+                if name in closed:
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"`{dotted}(\"{name}\", ...)` opens a keyed span but no "
+                    f"`end(\"{name}\", ...)` is reachable in the same "
+                    "handler; the pending span never materializes — close it "
+                    "on every path or suppress with `# repro: allow[OBS002]` "
+                    "naming the closing handler",
+                )
+
+    @staticmethod
+    def _span_name(call: ast.Call) -> str | None:
+        if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+            call.args[0].value, str
+        ):
+            return call.args[0].value
+        for kw in call.keywords:
+            if (
+                kw.arg == "name"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                return kw.value.value
+        return None
+
+    @staticmethod
+    def _enclosing_function(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
 #: DagStore methods that materialize a whole round's vertex dict per call.
 _ROUND_SCANS = frozenset({"round_vertices", "uncovered_before"})
 
@@ -708,5 +784,6 @@ def default_rules() -> list[Rule]:
         MutateAfterSendRule(),
         SimTimeEqualityRule(),
         UnguardedTracerRule(),
+        UnbalancedSpanRule(),
         RoundScanInLoopRule(),
     ]

@@ -22,6 +22,7 @@ import sys
 from collections import defaultdict
 from typing import Any, Iterable
 
+from ..obs.metrics import Histogram
 from ..obs.tracer import META_TYPE, TraceFile, Tracer
 from .reporting import format_table
 
@@ -73,13 +74,6 @@ def dropped_info(records: Iterable[Any]) -> dict[str, Any] | None:
     return None
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    if not sorted_values:
-        return float("nan")
-    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
-    return sorted_values[idx]
-
-
 def _ms(value: float) -> float:
     return round(value * 1e3, 3)
 
@@ -88,34 +82,34 @@ def hop_stage_table(records: Iterable[Any]) -> list[dict[str, Any]]:
     """Per-stage decomposition of every traced network hop.
 
     One row per stage: mean / p50 / p95 / max in milliseconds, plus the share
-    of total hop latency the stage accounts for.
+    of total hop latency the stage accounts for.  Aggregation runs over
+    fixed-size log-bucket histograms, so memory stays constant no matter how
+    many hops the trace holds (multi-GB sweeps included).
     """
     rows = _records_as_dicts(records)
-    samples: dict[str, list[float]] = {stage: [] for stage in HOP_STAGES}
-    hops = 0
+    hists = {stage: Histogram() for stage in HOP_STAGES}
     for row in rows:
         if row.get("type") != "span" or row.get("name") != "net.hop":
             continue
-        hops += 1
         attrs = row.get("attrs") or {}
         for stage in HOP_STAGES:
-            samples[stage].append(float(attrs.get(stage, 0.0)))
+            hists[stage].record(float(attrs.get(stage, 0.0)))
+    hops = hists[HOP_STAGES[0]].count
     if not hops:
         return []
-    totals = {stage: sum(values) for stage, values in samples.items()}
-    grand_total = sum(totals.values()) or 1.0
+    grand_total = sum(h.sum for h in hists.values()) or 1.0
     table = []
     for stage in HOP_STAGES:
-        values = sorted(samples[stage])
+        hist = hists[stage]
         table.append(
             {
                 "stage": stage,
                 "hops": hops,
-                "mean_ms": _ms(totals[stage] / hops),
-                "p50_ms": _ms(_percentile(values, 0.50)),
-                "p95_ms": _ms(_percentile(values, 0.95)),
-                "max_ms": _ms(values[-1]),
-                "share_%": round(100.0 * totals[stage] / grand_total, 1),
+                "mean_ms": _ms(hist.sum / hops),
+                "p50_ms": _ms(hist.quantile(0.50)),
+                "p95_ms": _ms(hist.quantile(0.95)),
+                "max_ms": _ms(hist.max),
+                "share_%": round(100.0 * hist.sum / grand_total, 1),
             }
         )
     return table
@@ -153,22 +147,22 @@ def hop_kind_table(records: Iterable[Any]) -> list[dict[str, Any]]:
 def span_summary_table(records: Iterable[Any]) -> list[dict[str, Any]]:
     """Duration statistics for every span name except raw network hops."""
     rows = _records_as_dicts(records)
-    durations: dict[str, list[float]] = defaultdict(list)
+    durations: dict[str, Histogram] = defaultdict(Histogram)
     for row in rows:
         if row.get("type") != "span" or row.get("name") == "net.hop":
             continue
-        durations[row["name"]].append(float(row["end"]) - float(row["start"]))
+        durations[row["name"]].record(float(row["end"]) - float(row["start"]))
     table = []
     for name in sorted(durations):
-        values = sorted(durations[name])
+        hist = durations[name]
         table.append(
             {
                 "span": name,
-                "count": len(values),
-                "mean_ms": _ms(sum(values) / len(values)),
-                "p50_ms": _ms(_percentile(values, 0.50)),
-                "p95_ms": _ms(_percentile(values, 0.95)),
-                "max_ms": _ms(values[-1]),
+                "count": hist.count,
+                "mean_ms": _ms(hist.sum / hist.count),
+                "p50_ms": _ms(hist.quantile(0.50)),
+                "p95_ms": _ms(hist.quantile(0.95)),
+                "max_ms": _ms(hist.max),
             }
         )
     return table
@@ -193,21 +187,20 @@ def counter_table(records: Iterable[Any]) -> list[dict[str, Any]]:
 def client_latency_table(records: Iterable[Any]) -> list[dict[str, Any]]:
     """Client-observed latency percentiles from ``smr.client_latency``."""
     rows = _records_as_dicts(records)
-    values = sorted(
-        float(row.get("value", 0.0))
-        for row in rows
-        if row.get("type") == "counter" and row.get("name") == "smr.client_latency"
-    )
-    if not values:
+    hist = Histogram()
+    for row in rows:
+        if row.get("type") == "counter" and row.get("name") == "smr.client_latency":
+            hist.record(float(row.get("value", 0.0)))
+    if not hist.count:
         return []
     return [
         {
-            "accepted_txns": len(values),
-            "mean_s": round(sum(values) / len(values), 4),
-            "p50_s": round(_percentile(values, 0.50), 4),
-            "p95_s": round(_percentile(values, 0.95), 4),
-            "p99_s": round(_percentile(values, 0.99), 4),
-            "max_s": round(values[-1], 4),
+            "accepted_txns": hist.count,
+            "mean_s": round(hist.sum / hist.count, 4),
+            "p50_s": round(hist.quantile(0.50), 4),
+            "p95_s": round(hist.quantile(0.95), 4),
+            "p99_s": round(hist.quantile(0.99), 4),
+            "max_s": round(hist.max, 4),
         }
     ]
 

@@ -272,6 +272,14 @@ TRACE_EXPERIMENTS = {
 }
 
 
+def _parse_sample(text: str) -> float:
+    """Parse a sampling rate: a float (``0.0625``) or a ratio (``1/16``)."""
+    if "/" in text:
+        num, _, den = text.partition("/")
+        return float(num) / float(den)
+    return float(text)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     producer = TRACE_EXPERIMENTS.get(args.experiment)
     if producer is None:
@@ -280,7 +288,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"choose from {sorted(TRACE_EXPERIMENTS)}"
         )
         return 2
-    tracer = Tracer(capacity=args.capacity)
+    tracer = Tracer(capacity=args.capacity, sample=_parse_sample(args.sample))
     summary = producer(tracer)
     if args.out:
         tracer.export_jsonl(args.out)
@@ -288,8 +296,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(f"{summary}")
     print(f"trace records: {len(tracer)} kept, {tracer.dropped} dropped")
+    if tracer.dropped:
+        print(
+            "WARNING: the ring buffer evicted records; aggregates above are "
+            "skewed toward the end of the run — raise --capacity."
+        )
     if args.out:
         print(f"trace written to {args.out}")
+    if args.perfetto:
+        from .obs import export_perfetto
+
+        events = export_perfetto(tracer, args.perfetto)
+        print(
+            f"perfetto trace written to {args.perfetto} ({events} events; "
+            "open at https://ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -474,7 +495,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scenarios = list(SMOKE_SCENARIOS)
     if args.seed is not None:
         scenarios = [replace(s, seed=args.seed) for s in scenarios]
-    tracer = Tracer(capacity=args.capacity) if args.out else None
+    tracer = (
+        Tracer(capacity=args.capacity, sample=_parse_sample(args.sample))
+        if (args.out or args.perfetto)
+        else None
+    )
     failed = 0
     for scenario in scenarios:
         result = run_scenario(scenario, tracer=tracer, monitors=args.monitors)
@@ -494,8 +519,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.out and tracer is not None:
         tracer.export_jsonl(args.out)
         print(f"trace written to {args.out}")
+    if args.perfetto and tracer is not None:
+        from .obs import export_perfetto
+
+        events = export_perfetto(tracer, args.perfetto)
+        print(f"perfetto trace written to {args.perfetto} ({events} events)")
     print(f"{len(scenarios) - failed}/{len(scenarios)} scenarios passed")
     return 1 if failed else 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        diff_summaries,
+        export_perfetto,
+        load_summary,
+        prometheus_text,
+        save_summary,
+    )
+    from .obs.regression import format_findings, has_regressions
+    from .obs.tracer import TraceFile
+
+    if args.obs_command == "diff":
+        base = load_summary(args.base)
+        cur = load_summary(args.current)
+        findings = diff_summaries(
+            base, cur, rel_tol=args.rel_tol, quantile_tol=args.quantile_tol
+        )
+        if args.json:
+            print(json.dumps({"findings": findings}, indent=2))
+        else:
+            print(format_findings(findings))
+        return 1 if has_regressions(findings) else 0
+    if args.obs_command == "summary":
+        summary = load_summary(args.trace)
+        if args.out:
+            save_summary(summary, args.out)
+            print(f"summary written to {args.out}")
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(summary))
+            print(f"prometheus dump written to {args.prom}")
+        if not args.out and not args.prom:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if args.obs_command == "perfetto":
+        events = export_perfetto(TraceFile(args.trace), args.out)
+        print(
+            f"perfetto trace written to {args.out} ({events} events; "
+            "open at https://ui.perfetto.dev)"
+        )
+        return 0
+    print(f"unknown obs command {args.obs_command!r}")
+    return 2
 
 
 def _cmd_forensics(args: argparse.Namespace) -> int:
@@ -665,6 +742,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="trace ring-buffer capacity (oldest records drop beyond this)",
     )
+    trace.add_argument(
+        "--sample",
+        default="1",
+        metavar="RATE",
+        help="head-sampling rate for causal traces: a float or a ratio "
+        "like 1/16 (default 1: trace everything)",
+    )
+    trace.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="PATH",
+        help="also write a Chrome-trace/Perfetto JSON for ui.perfetto.dev",
+    )
     trace.set_defaults(fn=_cmd_trace)
 
     chaos = sub.add_parser(
@@ -687,12 +777,66 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default=None, help="write a JSONL trace here")
     chaos.add_argument("--capacity", type=int, default=1_000_000)
     chaos.add_argument(
+        "--sample", default="1", metavar="RATE",
+        help="head-sampling rate for causal traces (float or ratio like 1/16)",
+    )
+    chaos.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="also write a Chrome-trace/Perfetto JSON of the run",
+    )
+    chaos.add_argument(
         "--monitors",
         action="store_true",
         help="attach the online health monitors (stall watchdog, prefix "
         "safety, equivocation evidence); any safety anomaly fails the run",
     )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability toolkit: trace summaries, Perfetto export, and "
+        "cross-run regression diffs (docs/OBSERVABILITY.md)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two runs (JSONL traces or saved summaries); exits 1 "
+        "on a regression",
+    )
+    obs_diff.add_argument("base", help="baseline: trace.jsonl or summary.json")
+    obs_diff.add_argument("current", help="candidate: trace.jsonl or summary.json")
+    obs_diff.add_argument(
+        "--rel-tol", type=float, default=0.10,
+        help="relative tolerance for exact aggregates (counter totals, means)",
+    )
+    obs_diff.add_argument(
+        "--quantile-tol", type=float, default=0.50,
+        help="relative tolerance for histogram quantiles (bucket estimates)",
+    )
+    obs_diff.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    obs_diff.set_defaults(fn=_cmd_obs)
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="reduce a JSONL trace to a metrics summary (histograms, "
+        "counters, gauges)",
+    )
+    obs_summary.add_argument("trace", help="trace.jsonl (or an existing summary)")
+    obs_summary.add_argument(
+        "--out", default=None, help="write the summary JSON here"
+    )
+    obs_summary.add_argument(
+        "--prom", default=None,
+        help="write a Prometheus-style text dump here",
+    )
+    obs_summary.set_defaults(fn=_cmd_obs)
+    obs_perfetto = obs_sub.add_parser(
+        "perfetto", help="convert a JSONL trace to Chrome-trace/Perfetto JSON"
+    )
+    obs_perfetto.add_argument("trace", help="path to a trace.jsonl file")
+    obs_perfetto.add_argument("out", help="output .json path")
+    obs_perfetto.set_defaults(fn=_cmd_obs)
 
     forensics = sub.add_parser(
         "forensics",

@@ -192,7 +192,8 @@ class SailfishNode:
         self._enter_round(1)
 
     def _enter_round(self, round_: Round, propose: bool = True) -> None:
-        if self.tracer.enabled:
+        # Round spans are aggregate-only instrumentation: verbose mode.
+        if self.tracer.verbose:
             now = self.sim.now
             if self._round_entered_at is not None and round_ > 1:
                 self.tracer.span(
@@ -420,6 +421,21 @@ class SailfishNode:
 
     def _on_vertex_delivered(self, vertex: Vertex) -> None:
         attached = self.store.add(vertex)
+        if self.tracer.enabled and attached:
+            tr = self.tracer
+            now = self.sim.now
+            for v in attached:
+                # Child of this node's RBC delivery span when the vertex was
+                # sampled (falling back to the trace root for vertices that
+                # attached from the buffer, whose delivery predates binding).
+                ctx = tr.ctx(("vdeliv", v.round, v.source, self.node_id))
+                if ctx is None:
+                    ctx = tr.ctx(("vertex", v.round, v.source))
+                if ctx is not None:
+                    tr.ctx_span(
+                        "dag.attach", start=now, ctx=ctx, end=now,
+                        node=self.node_id, round=v.round, source=v.source,
+                    )
         for v in attached:
             self._count_vote(v)
             if v.round >= 1 and self.schedule.leader(v.round) == v.source:
@@ -476,14 +492,30 @@ class SailfishNode:
                 if self._prefix:
                     self._prefix_track(vertex)
         if self.tracer.enabled:
-            self.tracer.counter(
-                "consensus.commit", node=self.node_id, time=now,
-                anchor_round=anchor.round, depth=len(chain), ordered=ordered,
-            )
+            verbose = self.tracer.verbose
+            if verbose:
+                self.tracer.counter(
+                    "consensus.commit", node=self.node_id, time=now,
+                    anchor_round=anchor.round, depth=len(chain), ordered=ordered,
+                )
             # Per-block ordering events feed the forensics critical path:
             # when did *this node* place each block into the total order?
+            # Sampled mode keeps them only for vertices on a sampled trace.
             for vertex, _ in self.ordered_log[first_new:]:
-                if vertex.block_digest is not None:
+                ctx = self.tracer.ctx(
+                    ("vdeliv", vertex.round, vertex.source, self.node_id)
+                )
+                if ctx is None:
+                    ctx = self.tracer.ctx(("vertex", vertex.round, vertex.source))
+                if ctx is not None:
+                    self.tracer.ctx_span(
+                        "consensus.order", start=now, ctx=ctx, end=now,
+                        node=self.node_id, round=vertex.round,
+                        source=vertex.source, anchor_round=anchor.round,
+                    )
+                if vertex.block_digest is not None and (
+                    verbose or ctx is not None
+                ):
                     self.tracer.counter(
                         "consensus.ordered", node=self.node_id, time=now,
                         round=vertex.round, source=vertex.source,
@@ -687,7 +719,7 @@ class SailfishNode:
             self.prefix_commits += 1
         if k < vertex.block_chunks:
             self.prefix_truncated += 1
-        if self.tracer.enabled:
+        if self.tracer.verbose:
             self.tracer.counter(
                 "consensus.prefix", node=self.node_id, time=self.sim.now,
                 round=round_, source=source, chunks=vertex.block_chunks,

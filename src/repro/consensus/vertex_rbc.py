@@ -36,6 +36,7 @@ from typing import Callable
 
 from ..committees.config import ClanConfig
 from ..crypto.certificates import build_certificate, verify_certificate
+from ..obs.ctx import TraceCtx, block_trace_key
 from ..crypto.evidence import EvidencePool
 from ..crypto.signatures import Pki
 from ..dag.block import Block
@@ -99,6 +100,11 @@ class VertexInstance:
     # Phase timestamps, populated only when tracing is enabled.
     val_at: float | None = None
     echo_at: float | None = None
+    #: Causal trace context of this vertex's dissemination (None when the
+    #: instance is unsampled or tracing is off); inherited from the VAL
+    #: message and stamped onto every ECHO/READY/CERT/chunk this node sends
+    #: for the instance.
+    ctx: object | None = None
 
 
 class VertexRbc:
@@ -257,11 +263,14 @@ class VertexRbc:
         """Disseminate this node's vertex (and block, if it proposes blocks)."""
         if vertex.source != self.node_id:
             raise ConsensusError("can only broadcast own vertices")
+        ctx = None
         if self.tracer.enabled:
-            self.tracer.counter(
-                "consensus.propose", node=self.node_id, round=vertex.round,
-                has_block=block is not None, time=self.sim.now,
-            )
+            ctx = self._broadcast_ctx(vertex)
+            if self.tracer.verbose or ctx is not None:
+                self.tracer.counter(
+                    "consensus.propose", node=self.node_id, round=vertex.round,
+                    has_block=block is not None, time=self.sim.now,
+                )
         if (block is None) != (vertex.block_digest is None):
             raise ConsensusError("vertex.block_digest must match block presence")
         if block is not None and block.payload_digest() != vertex.block_digest:
@@ -276,7 +285,10 @@ class VertexRbc:
                 vertex_val_statement(self.node_id, vertex.round, vdigest)
             )
         if block is None:
-            self.network.broadcast(self.node_id, VertexValMsg(vertex, None, signature))
+            val = VertexValMsg(vertex, None, signature)
+            if ctx is not None:
+                val.trace_ctx = ctx
+            self.network.broadcast(self.node_id, val)
             return
         cfg = self.schedule.cfg_at(vertex.round)
         clan = cfg.clan(cfg.block_clan_of(self.node_id))
@@ -288,24 +300,60 @@ class VertexRbc:
             manifest, chunks = split_block(block, vertex.block_chunks)
             if manifest.manifest_digest() != vertex.chunk_root:
                 raise ConsensusError("vertex.chunk_root does not match manifest")
-            self.network.multicast(
-                self.node_id, in_clan, VertexValMsg(vertex, None, signature, manifest)
-            )
+            val = VertexValMsg(vertex, None, signature, manifest)
+            bare = VertexValMsg(vertex, None, signature)
+            if ctx is not None:
+                val.trace_ctx = ctx
+                bare.trace_ctx = ctx
+            self.network.multicast(self.node_id, in_clan, val)
             if outside:
-                self.network.multicast(
-                    self.node_id, outside, VertexValMsg(vertex, None, signature)
-                )
+                self.network.multicast(self.node_id, outside, bare)
             for chunk in chunks:
-                self.network.multicast(
-                    self.node_id, in_clan,
-                    BlockChunkMsg(self.node_id, vertex.round, chunk),
-                )
+                cmsg = BlockChunkMsg(self.node_id, vertex.round, chunk)
+                if ctx is not None:
+                    cmsg.trace_ctx = ctx
+                self.network.multicast(self.node_id, in_clan, cmsg)
             return
         with_block = VertexValMsg(vertex, block, signature)
         without_block = VertexValMsg(vertex, None, signature)
+        if ctx is not None:
+            with_block.trace_ctx = ctx
+            without_block.trace_ctx = ctx
         self.network.multicast(self.node_id, in_clan, with_block)
         if outside:
             self.network.multicast(self.node_id, outside, without_block)
+
+    def _broadcast_ctx(self, vertex: Vertex) -> TraceCtx | None:
+        """Open (and register) the causal trace for a sampled vertex.
+
+        The trace id derives from the block digest when the vertex carries a
+        block (so offline tools can rejoin it from a manifest digest alone),
+        else from the (round, source) vertex identity.  A block whose
+        transactions include a head-sampled txn is force-sampled via the
+        ``("blkforce", digest)`` binding the SMR runtime registers at block
+        creation — txn trees stay complete at any sample rate.
+        """
+        tr = self.tracer
+        if vertex.block_digest is not None:
+            key = block_trace_key(vertex.block_digest)
+            forced = tr.ctx(("blkforce", vertex.block_digest)) is not None
+        else:
+            key = f"vtx:{vertex.round}:{vertex.source}"
+            forced = False
+        if not forced and not tr.sampled(key):
+            return None
+        ctx = TraceCtx(tr.trace_id(key), tr.next_span_id())
+        tr.bind(("vertex", vertex.round, vertex.source), ctx)
+        if vertex.block_digest is not None:
+            tr.bind(("block", vertex.block_digest), ctx)
+        # The trace's root span: the proposal event itself.  Children (hops,
+        # per-node RBC phases, attach/order/execute) hang off ctx.span_id.
+        now = self.sim.now
+        tr.span(
+            "rbc.broadcast", start=now, end=now, node=self.node_id,
+            round=vertex.round, trace=ctx.trace_id, span=ctx.span_id,
+        )
+        return ctx
 
     # -- receiving ----------------------------------------------------------------
 
@@ -385,8 +433,11 @@ class VertexRbc:
                 if msg.signature.message_digest != expected:
                     return
         state = self.instance(origin, vertex.round)
-        if self.tracer.enabled and state.val_at is None:
-            state.val_at = self.sim.now
+        if self.tracer.enabled:
+            if state.val_at is None:
+                state.val_at = self.sim.now
+            if state.ctx is None:
+                state.ctx = getattr(msg, "trace_ctx", None)
         if self._optimistic and not state.pessimistic and not state.vertex_delivered:
             self._arm_fallback(origin, vertex.round, state)
         if self.mode == "two-round" and msg.signature is not None:
@@ -441,18 +492,29 @@ class VertexRbc:
         if self.tracer.enabled:
             now = self.sim.now
             state.echo_at = now
-            self.tracer.span(
-                "rbc.val_to_echo",
-                start=state.val_at if state.val_at is not None else now,
-                end=now, node=self.node_id, origin=origin, round=round_,
-            )
+            start = state.val_at if state.val_at is not None else now
+            if state.ctx is not None:
+                self.tracer.ctx_span(
+                    "rbc.val_to_echo", start=start, ctx=state.ctx,
+                    end=now, node=self.node_id, origin=origin, round=round_,
+                )
+            elif self.tracer.verbose:
+                self.tracer.span(
+                    "rbc.val_to_echo", start=start,
+                    end=now, node=self.node_id, origin=origin, round=round_,
+                )
         vdigest = state.first_digest
         signature = None
         if self.mode == "two-round":
             signature = self._key.sign(vertex_echo_statement(origin, round_, vdigest))
-        self.network.broadcast(
-            self.node_id, self._make_echo(origin, round_, vdigest, signature)
-        )
+        echo = self._make_echo(origin, round_, vdigest, signature)
+        # Quorum-phase broadcasts are stamped only at sample=1.0: in sampled
+        # mode each stamp would route an n-wide broadcast down the traced
+        # slow path per sampled vertex, and the causal tree is already
+        # complete via the VAL/chunk propagation plus local phase spans.
+        if state.ctx is not None and self.tracer.verbose:
+            echo.trace_ctx = state.ctx
+        self.network.broadcast(self.node_id, echo)
 
     def _on_echo(self, src: NodeId, msg: VertexEchoMsg) -> None:
         if self.mode == "two-round":
@@ -524,16 +586,18 @@ class VertexRbc:
                 return
             state.cert_sent = True
             cert = build_certificate(list(state.echo_sigs[digest_].values()))
-            self.network.broadcast(
-                self.node_id, VertexCertMsg(origin, round_, digest_, cert, self.cfg.n)
-            )
+            cert_msg = VertexCertMsg(origin, round_, digest_, cert, self.cfg.n)
+            if state.ctx is not None and self.tracer.verbose:
+                cert_msg.trace_ctx = state.ctx
+            self.network.broadcast(self.node_id, cert_msg)
             self._complete(origin, round_, digest_, state)
         else:
             if state.ready_digest is None:
                 state.ready_digest = digest_
-                self.network.broadcast(
-                    self.node_id, self._make_ready(origin, round_, digest_)
-                )
+                ready = self._make_ready(origin, round_, digest_)
+                if state.ctx is not None and self.tracer.verbose:
+                    ready.trace_ctx = state.ctx
+                self.network.broadcast(self.node_id, ready)
             # §5 optimization: clan members can start the block download at
             # ECHO-quorum time, before the READY quorum completes.
             self._prefetch_block(origin, round_, digest_, state)
@@ -578,10 +642,10 @@ class VertexRbc:
             # delivered digest — every fast-path deliverer does, so the
             # laggard completes even if it was the only one to fall back.
             state.ready_digest = state.quorum_digest
-            self.network.broadcast(
-                self.node_id,
-                self._make_ready(msg.origin, msg.round, state.quorum_digest),
-            )
+            ready = self._make_ready(msg.origin, msg.round, state.quorum_digest)
+            if state.ctx is not None and self.tracer.verbose:
+                ready.trace_ctx = state.ctx
+            self.network.broadcast(self.node_id, ready)
         supporters = state.readies.setdefault(msg.vertex_digest, set())
         if src in supporters:
             return
@@ -589,10 +653,10 @@ class VertexRbc:
         count = len(supporters)
         if count >= self._amplify and state.ready_digest is None:
             state.ready_digest = msg.vertex_digest
-            self.network.broadcast(
-                self.node_id,
-                self._make_ready(msg.origin, msg.round, msg.vertex_digest),
-            )
+            ready = self._make_ready(msg.origin, msg.round, msg.vertex_digest)
+            if state.ctx is not None and self.tracer.verbose:
+                ready.trace_ctx = state.ctx
+            self.network.broadcast(self.node_id, ready)
         if count >= self._quorum:
             self._complete(msg.origin, msg.round, msg.vertex_digest, state)
 
@@ -634,11 +698,24 @@ class VertexRbc:
                 start = state.echo_at
                 if start is None:
                     start = state.val_at if state.val_at is not None else now
-                tr.span("rbc.echo_to_deliver", start=start, end=now,
-                        node=self.node_id, origin=origin, round=round_)
-                tr.span("rbc.e2e",
-                        start=state.val_at if state.val_at is not None else now,
-                        end=now, node=self.node_id, origin=origin, round=round_)
+                e2e_start = state.val_at if state.val_at is not None else now
+                if state.ctx is not None:
+                    tr.ctx_span("rbc.echo_to_deliver", start=start, ctx=state.ctx,
+                                end=now, node=self.node_id, origin=origin,
+                                round=round_)
+                    delivered = tr.ctx_span(
+                        "rbc.e2e", start=e2e_start, ctx=state.ctx, end=now,
+                        node=self.node_id, origin=origin, round=round_,
+                    )
+                    # Downstream stages on this node (DAG attach, ordering)
+                    # parent under the local delivery span, giving the trace
+                    # a per-node causal chain rather than a flat fan-out.
+                    tr.bind(("vdeliv", round_, origin, self.node_id), delivered)
+                elif tr.verbose:
+                    tr.span("rbc.echo_to_deliver", start=start, end=now,
+                            node=self.node_id, origin=origin, round=round_)
+                    tr.span("rbc.e2e", start=e2e_start,
+                            end=now, node=self.node_id, origin=origin, round=round_)
             self.on_vertex(state.vertex)
         if self._prefix:
             # Prefix mode: blocks reach the node through the certified-prefix
@@ -654,11 +731,17 @@ class VertexRbc:
             state.block_delivered = True
             if self.tracer.enabled:
                 now = self.sim.now
-                self.tracer.span(
-                    "rbc.block_e2e",
-                    start=state.val_at if state.val_at is not None else now,
-                    end=now, node=self.node_id, origin=origin, round=round_,
-                )
+                start = state.val_at if state.val_at is not None else now
+                if state.ctx is not None:
+                    self.tracer.ctx_span(
+                        "rbc.block_e2e", start=start, ctx=state.ctx,
+                        end=now, node=self.node_id, origin=origin, round=round_,
+                    )
+                elif self.tracer.verbose:
+                    self.tracer.span(
+                        "rbc.block_e2e", start=start,
+                        end=now, node=self.node_id, origin=origin, round=round_,
+                    )
             self.on_block(state.block)
         else:
             self._prefetch_block(origin, round_, state.quorum_digest, state)
@@ -782,6 +865,11 @@ class VertexRbc:
         chunk = msg.chunk
         if chunk.proposer != msg.origin or chunk.round != msg.round:
             return
+        if self.tracer.enabled:
+            # Chunks may outrun the VAL; adopt the context either way.
+            state = self.instance(msg.origin, msg.round)
+            if state.ctx is None:
+                state.ctx = getattr(msg, "trace_ctx", None)
         self._accept_chunk(msg.origin, msg.round, chunk)
 
     def _accept_chunk(self, origin: NodeId, round_: Round, chunk: BlockChunk) -> None:
@@ -900,13 +988,17 @@ class VertexRbc:
         for index in range(entry["k"]):
             if chunks is None or index not in chunks:
                 requested = True
-                self.network.send(
-                    self.node_id, target, ChunkRequestMsg(origin, round_, index)
-                )
+                req = ChunkRequestMsg(origin, round_, index)
+                if state.ctx is not None:
+                    req.trace_ctx = state.ctx
+                self.network.send(self.node_id, target, req)
         if not requested:
             # All k chunks held but the manifest is missing (bare-vertex
             # pull, or k=0): probe index 0 — responses carry the manifest.
-            self.network.send(self.node_id, target, ChunkRequestMsg(origin, round_, 0))
+            req = ChunkRequestMsg(origin, round_, 0)
+            if state.ctx is not None:
+                req.trace_ctx = state.ctx
+            self.network.send(self.node_id, target, req)
         entry["timer"] = self.sim.schedule(entry["timeout"], self._request_chunks, key)
         entry["timeout"] = min(entry["timeout"] * 1.5, 30.0)
 
@@ -923,10 +1015,10 @@ class VertexRbc:
         if chunk is None and msg.index != 0:
             return  # manifest-only answers only for the index-0 probe
         self._chunk_served.add(mark)
-        self.network.send(
-            self.node_id, src,
-            ChunkResponseMsg(msg.origin, msg.round, chunk, state.manifest),
-        )
+        resp = ChunkResponseMsg(msg.origin, msg.round, chunk, state.manifest)
+        if state.ctx is not None:
+            resp.trace_ctx = state.ctx
+        self.network.send(self.node_id, src, resp)
 
     def _on_chunk_response(self, src: NodeId, msg: ChunkResponseMsg) -> None:
         if not self._prefix:

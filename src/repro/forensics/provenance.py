@@ -308,22 +308,19 @@ def reconcile(index: ProvenanceIndex) -> dict[str, Any]:
 # -- aggregate attribution ----------------------------------------------------
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile on a pre-sorted sample list."""
-    if not samples:
-        return 0.0
-    idx = min(len(samples) - 1, max(0, int(round(q * (len(samples) - 1)))))
-    return samples[idx]
-
-
 def attribution_rows(index: ProvenanceIndex) -> list[dict[str, Any]]:
     """Per-segment latency statistics across all commits (or transactions).
 
     With clients in the trace, samples are per accepted transaction (the
     mempool segment is per-transaction by nature); without, per ordered
-    commit over the consensus-level segments.
+    commit over the consensus-level segments.  Each segment aggregates into
+    a fixed-size log-bucket histogram: count/sum/mean/max stay exact while
+    quantiles are bucket estimates, and memory no longer grows with the
+    number of commits in the trace.
     """
-    samples: dict[str, list[float]] = {}
+    from ..obs.metrics import Histogram
+
+    samples: dict[str, Histogram] = {}
     if index.has_clients:
         names = CLIENT_SEGMENTS
         for txn_id in sorted(index.txns):
@@ -331,7 +328,7 @@ def attribution_rows(index: ProvenanceIndex) -> list[dict[str, Any]]:
             if waterfall is None:
                 continue
             for seg, dur in waterfall["segments"].items():
-                samples.setdefault(seg, []).append(dur)
+                samples.setdefault(seg, Histogram()).record(dur)
     else:
         names = CONSENSUS_SEGMENTS
         for commit in index.ordered_commits():
@@ -339,21 +336,28 @@ def attribution_rows(index: ProvenanceIndex) -> list[dict[str, Any]]:
             if segs is None:
                 continue
             for seg, dur in segs.items():
-                samples.setdefault(seg, []).append(dur)
-    grand_total = sum(sum(vals) for vals in samples.values()) or 1.0
+                samples.setdefault(seg, Histogram()).record(dur)
+    grand_total = sum(h.sum for h in samples.values()) or 1.0
     rows = []
     for seg in names:
-        vals = sorted(samples.get(seg, ()))
-        total = sum(vals)
+        hist = samples.get(seg)
+        if hist is None or not hist.count:
+            rows.append(
+                {
+                    "segment": seg, "count": 0, "mean": 0.0, "p50": 0.0,
+                    "p99": 0.0, "max": 0.0, "share": 0.0,
+                }
+            )
+            continue
         rows.append(
             {
                 "segment": seg,
-                "count": len(vals),
-                "mean": total / len(vals) if vals else 0.0,
-                "p50": _percentile(vals, 0.50),
-                "p99": _percentile(vals, 0.99),
-                "max": vals[-1] if vals else 0.0,
-                "share": total / grand_total,
+                "count": hist.count,
+                "mean": hist.sum / hist.count,
+                "p50": hist.quantile(0.50),
+                "p99": hist.quantile(0.99),
+                "max": hist.max,
+                "share": hist.sum / grand_total,
             }
         )
     return rows

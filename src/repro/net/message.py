@@ -15,7 +15,13 @@ class Message:
     Subclasses should set ``__slots__`` and override :meth:`wire_size`.
     """
 
-    __slots__ = ("_wire_size_memo",)
+    # ``trace_ctx`` is the causal trace context riding along with a sampled
+    # message (see repro.obs.ctx).  It is wire-size-exempt by construction:
+    # ``wire_size`` implementations never read it, so stamping a context
+    # cannot perturb NIC serialization times — a hard requirement for traced
+    # and untraced runs to stay bit-identical.  Like the memo, it is left
+    # unset (AttributeError) rather than None on the common path.
+    __slots__ = ("_wire_size_memo", "trace_ctx")
 
     def wire_size(self) -> int:
         """Size of this message on the wire, in bytes."""
@@ -94,9 +100,15 @@ class MessageArena:
         pool = self.pools.get(msg.__class__)
         if pool is not None and len(pool) < self.limit:
             # The wire-size memo is content-dependent; drop it so the next
-            # acquire recomputes for the refilled fields.
+            # acquire recomputes for the refilled fields.  The trace context
+            # must go too: a recycled object must not smuggle the previous
+            # send's causal identity onto an unsampled message.
             try:
                 del msg._wire_size_memo
+            except AttributeError:
+                pass
+            try:
+                del msg.trace_ctx
             except AttributeError:
                 pass
             pool.append(msg)

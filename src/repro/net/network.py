@@ -112,6 +112,11 @@ class Network:
         self.stats = NetworkStats(n)
         self._track_kinds = track_kinds
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        # At full sampling every message takes the traced path (the pre-
+        # sampling behaviour).  Below 1.0 only messages stamped with a
+        # trace_ctx do; the rest keep the untraced fast path, which is what
+        # makes 1/k head sampling affordable at benchmark event rates.
+        self._trace_all = self._tracer.enabled and self._tracer.sample >= 1.0
         self._handlers: list[Handler | None] = [None] * n
         self._nic_free_at = [0.0] * n
         self._cpu_free_at = [0.0] * n
@@ -269,7 +274,13 @@ class Network:
             return
         if self._freeze is not None:
             self._freeze.on_send(msg)
-        if self._tracer.enabled:
+        if self._tracer.enabled and (
+            self._trace_all or getattr(msg, "trace_ctx", None) is not None
+        ):
+            # Arrival times are identical on both paths (same inlined delay
+            # expression, same RNG draw order, same bucket structure), so
+            # routing per-message by sampling decision cannot perturb the
+            # run — RunMetrics stays bit-identical at any sample rate.
             self._transmit_traced(src, dsts, msg)
             return
         sim = self.sim
@@ -500,20 +511,38 @@ class Network:
                 self._cpu_free_at[dst] = done
         if meta is not None and self._tracer.enabled:
             sent_at, nic_wait, tx, prop = meta
-            self._tracer.span(
-                "net.hop",
-                start=sent_at,
-                end=done if done is not None else self.sim.now,
-                node=dst,
-                src=src,
-                kind=msg.kind(),
-                size=size,
-                nic_wait=nic_wait,
-                tx=tx,
-                prop=prop,
-                cpu_wait=cpu_wait,
-                cpu=cost,
-            )
+            ctx = getattr(msg, "trace_ctx", None)
+            if ctx is not None:
+                self._tracer.ctx_span(
+                    "net.hop",
+                    start=sent_at,
+                    ctx=ctx,
+                    end=done if done is not None else self.sim.now,
+                    node=dst,
+                    src=src,
+                    kind=msg.kind(),
+                    size=size,
+                    nic_wait=nic_wait,
+                    tx=tx,
+                    prop=prop,
+                    cpu_wait=cpu_wait,
+                    cpu=cost,
+                )
+            else:
+                self._tracer.span(
+                    "net.hop",
+                    start=sent_at,
+                    end=done if done is not None else self.sim.now,
+                    node=dst,
+                    src=src,
+                    kind=msg.kind(),
+                    size=size,
+                    nic_wait=nic_wait,
+                    tx=tx,
+                    prop=prop,
+                    cpu_wait=cpu_wait,
+                    cpu=cost,
+                )
         if done is not None:
             self.sim.post(done, self._handle, (src, dst, msg, size))
             return

@@ -12,6 +12,20 @@ optional tracer; ``python -m repro trace <experiment>`` runs one experiment
 with tracing on and :mod:`repro.bench.trace_report` summarizes the result.
 """
 
+from .ctx import (
+    TraceCtx,
+    block_trace_key,
+    derive_trace_id,
+    sample_hit,
+    txn_trace_key,
+)
+from .export import export_perfetto, perfetto_trace, prometheus_text
+from .metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
 from .records import (
     ANOMALY_CLASSES,
     AnomalyRecord,
@@ -21,6 +35,8 @@ from .records import (
     TraceRecord,
     record_from_dict,
 )
+from .regression import diff_summaries, load_summary, save_summary, summarize_trace
+from .spantree import span_trees, txn_completeness
 from .tracer import NULL_TRACER, NullTracer, TraceFile, Tracer, ensure_tracer
 
 __all__ = [
@@ -36,4 +52,22 @@ __all__ = [
     "TraceFile",
     "Tracer",
     "ensure_tracer",
+    "TraceCtx",
+    "derive_trace_id",
+    "sample_hit",
+    "txn_trace_key",
+    "block_trace_key",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "export_perfetto",
+    "perfetto_trace",
+    "prometheus_text",
+    "summarize_trace",
+    "diff_summaries",
+    "load_summary",
+    "save_summary",
+    "span_trees",
+    "txn_completeness",
 ]

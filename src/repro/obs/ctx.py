@@ -1,0 +1,93 @@
+"""Causal trace context: deterministic trace ids and parent/child span links.
+
+A :class:`TraceCtx` is the compact token that rides along with a transaction
+or vertex as it crosses layer boundaries (client → mempool → RBC → network →
+DAG → ordering → executor).  It carries exactly two integers:
+
+* ``trace_id`` — derived **deterministically** from protocol identity (a
+  transaction id, a block digest) via :func:`derive_trace_id`, so two runs of
+  the same seeded simulation produce byte-identical trace ids, and an offline
+  tool can recompute the id for any txn/block without having seen the run.
+* ``span_id`` — the id of the *current* span; children emitted under this
+  context record it as their ``parent`` attribute, which is what turns the
+  flat record stream into a tree.
+
+Context fields travel inside the free-form ``attrs`` dict of ordinary trace
+records (``trace``/``span``/``parent`` keys) — the record schema and its JSONL
+wire format are unchanged, so traces written before this module existed still
+load.
+
+Sampling is *head-based* and deterministic: :func:`sample_hit` hashes the
+same identity string used for the trace id, so whether a transaction is
+traced is a pure function of (identity, sample rate) — independent of run
+interleaving, and bit-identical across repeated runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Denominator of the deterministic sampling fraction (64-bit hash space).
+_HASH_SPACE = float(2**64)
+
+
+def derive_trace_id(key: str) -> int:
+    """A stable 64-bit trace id from a protocol identity string.
+
+    Uses BLAKE2b (not Python's randomized ``hash``) so ids are stable across
+    processes and runs — required both for determinism and for offline
+    joins (a report can recompute the trace id of ``txn:c1:7`` at any time).
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sample_hit(key: str, rate: float) -> bool:
+    """Deterministic head-sampling decision for ``key`` at ``rate``.
+
+    ``rate >= 1`` always hits, ``rate <= 0`` never hits; in between, the
+    decision is a pure function of the identity hash, so the *same* txns are
+    traced on every run of a seeded simulation.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return derive_trace_id(key) / _HASH_SPACE < rate
+
+
+def txn_trace_key(txn_id: str) -> str:
+    """The identity string whose hash names a transaction's trace."""
+    return "txn:" + txn_id
+
+
+def block_trace_key(block_digest: bytes) -> str:
+    """The identity string whose hash names a block/vertex trace."""
+    return "blk:" + block_digest.hex()
+
+
+class TraceCtx:
+    """An immutable-by-convention (trace_id, span_id) pair.
+
+    Plain slotted class rather than a dataclass: contexts are created on the
+    sampled hot path (one per child span) and never mutated after creation.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceCtx(trace_id={self.trace_id:#x}, span_id={self.span_id})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceCtx)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))

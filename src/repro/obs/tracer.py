@@ -19,6 +19,7 @@ import json
 from collections import deque
 from typing import Any, Callable, Iterable, Iterator
 
+from .ctx import TraceCtx, derive_trace_id, sample_hit
 from .records import (
     AnomalyRecord,
     CounterRecord,
@@ -43,6 +44,11 @@ class NullTracer:
     """
 
     enabled = False
+    #: Disabled tracers sample nothing: ``sampled()`` is always False and the
+    #: network's trace-all fast-path predicate stays off.
+    sample = 0.0
+    #: Non-causal (aggregate) instrumentation is off too.
+    verbose = False
     __slots__ = ()
 
     def set_clock(self, clock: Callable[[], float]) -> None:
@@ -50,6 +56,34 @@ class NullTracer:
 
     def now(self) -> float:
         return 0.0
+
+    # -- trace context (all no-ops; see Tracer for semantics) ----------------
+
+    def trace_id(self, key: str) -> int:
+        return 0
+
+    def sampled(self, key: str) -> bool:
+        return False
+
+    def next_span_id(self) -> int:
+        return 0
+
+    def root_ctx(self, key: str) -> TraceCtx | None:
+        return None
+
+    def ctx_span(self, name: str, start: float, ctx: TraceCtx,
+                 end: float | None = None, node: int | None = None,
+                 **attrs: Any) -> TraceCtx | None:
+        return None
+
+    def bind(self, key: Any, ctx: TraceCtx) -> None:
+        pass
+
+    def ctx(self, key: Any) -> TraceCtx | None:
+        return None
+
+    def unbind(self, key: Any) -> None:
+        pass
 
     def counter(self, name: str, value: float = 1.0, node: int | None = None,
                 time: float | None = None, **attrs: Any) -> None:
@@ -98,6 +132,13 @@ class Tracer:
             time; bound late via :meth:`set_clock` when the simulator is
             created after the tracer (the CLI path).
         capacity: ring-buffer size; oldest records are evicted beyond it.
+        sample: head-sampling rate for causal traces, 0..1.  ``1.0`` (the
+            default) traces everything — the pre-sampling behaviour; at
+            ``1/k`` only txns/blocks whose identity hash lands under the rate
+            get a trace context, and un-sampled traffic stays on the
+            network's untraced fast path.  Sampling decisions are a pure
+            function of protocol identity (:func:`~repro.obs.ctx.sample_hit`),
+            never of run interleaving.
     """
 
     enabled = True
@@ -106,14 +147,30 @@ class Tracer:
         self,
         clock: Callable[[], float] | None = None,
         capacity: int = 1_000_000,
+        sample: float = 1.0,
     ) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be positive")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("trace sample rate must be within [0, 1]")
         self._clock = clock
         self._buffer: deque[TraceRecord] = deque(maxlen=capacity)
         self._emitted = 0
         #: Open begin()/end() span bookkeeping: (name, key, node) -> start.
         self._open: dict[tuple, float] = {}
+        self.sample = sample
+        #: Sampled mode (sample < 1.0) is *causal-only*: sites that emit
+        #: high-volume per-vertex/per-hop records with no trace context gate
+        #: on ``verbose`` so the ≤5 % tracing-overhead budget holds at 1/k
+        #: rates.  At sample=1.0 every record is emitted, as before.
+        self.verbose = sample >= 1.0
+        #: Monotonic span-id source; deterministic given deterministic
+        #: emission order (which the seeded simulator guarantees).
+        self._span_ids = 0
+        #: Context registry: protocol identity key -> TraceCtx, so layers
+        #: that only know a txn id / vertex key / block digest can rejoin a
+        #: trace without new plumbing through every constructor.
+        self._ctx: dict[Any, TraceCtx] = {}
 
     # -- time ----------------------------------------------------------------
 
@@ -182,6 +239,58 @@ class Tracer:
         self._emitted += 1
         self._buffer.append(record)
 
+    # -- trace context -------------------------------------------------------
+
+    def trace_id(self, key: str) -> int:
+        """Deterministic 64-bit trace id for a protocol identity string."""
+        return derive_trace_id(key)
+
+    def sampled(self, key: str) -> bool:
+        """Whether the trace named by ``key`` is head-sampled at this rate."""
+        return sample_hit(key, self.sample)
+
+    def next_span_id(self) -> int:
+        """A fresh span id (monotonic, deterministic per emission order)."""
+        self._span_ids += 1
+        return self._span_ids
+
+    def root_ctx(self, key: str) -> TraceCtx | None:
+        """Open a root context for ``key`` if it is sampled, else ``None``.
+
+        The returned ``span_id`` names the trace's root span; the caller is
+        expected to emit that span itself (with ``trace=/span=`` attrs and no
+        ``parent``) once the root interval's end is known.
+        """
+        if not sample_hit(key, self.sample):
+            return None
+        return TraceCtx(derive_trace_id(key), self.next_span_id())
+
+    def ctx_span(self, name: str, start: float, ctx: TraceCtx,
+                 end: float | None = None, node: int | None = None,
+                 **attrs: Any) -> TraceCtx | None:
+        """Emit a span as a child of ``ctx``; returns the child's context.
+
+        The emitted record carries ``trace``/``span``/``parent`` attrs (in
+        the ordinary free-form ``attrs`` dict — no schema change), and the
+        returned :class:`TraceCtx` lets the caller chain grandchildren.
+        """
+        span_id = self.next_span_id()
+        self.span(name, start, end=end, node=node,
+                  trace=ctx.trace_id, span=span_id, parent=ctx.span_id, **attrs)
+        return TraceCtx(ctx.trace_id, span_id)
+
+    def bind(self, key: Any, ctx: TraceCtx) -> None:
+        """Associate a protocol identity key with a context for later lookup."""
+        self._ctx[key] = ctx
+
+    def ctx(self, key: Any) -> TraceCtx | None:
+        """The context bound to ``key``, or ``None``."""
+        return self._ctx.get(key)
+
+    def unbind(self, key: Any) -> None:
+        """Drop a binding (no-op when absent); keeps long runs bounded."""
+        self._ctx.pop(key, None)
+
     # -- inspection ----------------------------------------------------------
 
     def records(self) -> list[TraceRecord]:
@@ -206,7 +315,9 @@ class Tracer:
     def clear(self) -> None:
         self._buffer.clear()
         self._open.clear()
+        self._ctx.clear()
         self._emitted = 0
+        self._span_ids = 0
 
     # -- JSONL ---------------------------------------------------------------
 

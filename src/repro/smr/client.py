@@ -88,6 +88,19 @@ class Client:
                         txn=txn_id,
                         quorum=quorum,
                     )
+                    ctx = self.tracer.ctx(("txn", txn_id))
+                    if ctx is not None:
+                        # Close the per-txn trace root: submission → accept.
+                        # The span id is the root ctx opened at submit time,
+                        # so every stage in between parents under it.
+                        self.tracer.span(
+                            "smr.txn",
+                            start=request.txn.created_at, end=now,
+                            txn=txn_id, client=self.client_id,
+                            clan=request.clan_idx,
+                            trace=ctx.trace_id, span=ctx.span_id,
+                        )
+                        self.tracer.unbind(("txn", txn_id))
                 return
 
     # -- inspection -----------------------------------------------------------

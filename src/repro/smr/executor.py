@@ -86,15 +86,29 @@ class Executor:
             if block is None:
                 return
             self._queue.popleft()
-            self._execute(block, now)
+            self._execute(block, now, vertex.block_digest)
 
-    def _execute(self, block: Block, now: float) -> None:
+    def _execute(self, block: Block, now: float, key: bytes | None = None) -> None:
         self.executed_blocks += 1
         if self.tracer.enabled:
             self.tracer.counter(
                 "smr.execute", value=block.txn_count, node=self.node_id,
                 time=now, digest=block.payload_digest().hex(),
             )
+            # ``key`` is the consensus-visible digest the trace was opened
+            # under (in prefix mode the executed prefix's own digest can
+            # differ); the span's digest attr uses it so offline joins line
+            # up with the smr.block manifest.
+            ctx = self.tracer.ctx(("block", key if key is not None else
+                                   block.payload_digest()))
+            if ctx is not None:
+                self.tracer.ctx_span(
+                    "smr.execute", start=now, ctx=ctx, end=now,
+                    node=self.node_id,
+                    digest=(key if key is not None else
+                            block.payload_digest()).hex(),
+                    txns=block.txn_count,
+                )
         if block.is_synthetic:
             self.executed_txns += block.txn_count
         else:

@@ -16,6 +16,7 @@ from ..consensus.params import ProtocolParams
 from ..dag.transaction import Transaction
 from ..errors import ExecutionError
 from ..net.latency import LatencyModel
+from ..obs.ctx import txn_trace_key
 from ..obs.tracer import ensure_tracer
 from ..types import NodeId
 from .client import Client
@@ -89,6 +90,17 @@ class SmrRuntime:
     def _make_block(self, proposer: NodeId, round_: int, now: float):
         block = self.mempools[proposer].make_block(proposer, round_, now)
         if block is not None and self.tracer.enabled:
+            if self.tracer.sample < 1.0:
+                # Head sampling keys off txn identity: if any txn in this
+                # block is sampled, force-sample the block's dissemination
+                # trace too, so the txn's root-to-commit tree stays complete
+                # at 1/k rates (VertexRbc._broadcast_ctx reads the binding).
+                for txn in block.iter_txns():
+                    if self.tracer.ctx(("txn", txn.txn_id)) is not None:
+                        self.tracer.bind(
+                            ("blkforce", block.payload_digest()), True
+                        )
+                        break
             # Block manifest: the txn → block mapping the forensics critical
             # path hangs every later stage (ordering, execution, reply) off.
             self.tracer.counter(
@@ -116,10 +128,21 @@ class SmrRuntime:
         proposer = clan[hash(txn.txn_id) % len(clan)]
         self.mempools[proposer].submit(txn)
         if self.tracer.enabled:
-            self.tracer.counter(
-                "smr.submit", node=proposer, time=txn.created_at,
-                txn=txn.txn_id, clan=client.clan_idx,
-            )
+            # Trace roots open at submission: the id derives from the txn
+            # identity, and the client closes the root span at quorum accept.
+            tctx = self.tracer.root_ctx(txn_trace_key(txn.txn_id))
+            if tctx is not None:
+                self.tracer.bind(("txn", txn.txn_id), tctx)
+                self.tracer.counter(
+                    "smr.submit", node=proposer, time=txn.created_at,
+                    txn=txn.txn_id, clan=client.clan_idx,
+                    trace=tctx.trace_id, span=tctx.span_id,
+                )
+            else:
+                self.tracer.counter(
+                    "smr.submit", node=proposer, time=txn.created_at,
+                    txn=txn.txn_id, clan=client.clan_idx,
+                )
         return txn
 
     def _respond(self, node_id: NodeId, txn_id: str, result, executed_at: float) -> None:

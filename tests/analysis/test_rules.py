@@ -460,6 +460,113 @@ def test_obs001_non_tracer_receiver_is_clean():
     )
 
 
+# -- OBS002: span begin without a matching end in the same handler ------------
+
+
+def test_obs002_begin_without_end_in_handler():
+    findings = run(
+        """\
+        def on_val(self, msg, now):
+            self.tracer.begin("rbc.deliver", key=msg.origin, start=now)
+            self.store.add(msg.vertex)
+        """
+    )
+    assert [(f.rule, f.severity) for f in findings] == [("OBS002", "warning")]
+    assert findings[0].line == 2
+
+
+def test_obs002_matched_begin_end_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def on_val(self, msg, now):
+                self.tracer.begin("rbc.deliver", key=msg.origin, start=now)
+                self.store.add(msg.vertex)
+                self.tracer.end("rbc.deliver", key=msg.origin, end=now)
+            """
+        )
+        == []
+    )
+
+
+def test_obs002_end_on_conditional_path_still_counts():
+    # Reachability is approximated as same-function presence: an `end` on
+    # any path in the handler satisfies the rule.
+    assert (
+        rule_ids(
+            """\
+            def on_echo(self, msg, now):
+                self.tracer.begin("rbc.echo", key=msg.origin, start=now)
+                if self.quorum(msg):
+                    self.tracer.end("rbc.echo", key=msg.origin, end=now)
+            """
+        )
+        == []
+    )
+
+
+def test_obs002_end_for_different_span_name_does_not_match():
+    findings = run(
+        """\
+        def on_ready(self, msg, now):
+            self.tracer.begin("rbc.ready", key=msg.origin, start=now)
+            self.tracer.end("rbc.echo", key=msg.origin, end=now)
+        """
+    )
+    assert [f.rule for f in findings] == ["OBS002"]
+
+
+def test_obs002_cross_handler_begin_end_flagged_per_function():
+    # begin in one handler, end in another: the begin side is flagged (the
+    # idiom is to suppress with an allow comment naming the closing site).
+    findings = run(
+        """\
+        def open_round(self, round_, now):
+            self.tracer.begin("round", key=round_, start=now)
+
+        def close_round(self, round_, now):
+            self.tracer.end("round", key=round_, end=now)
+        """
+    )
+    assert [f.rule for f in findings] == ["OBS002"]
+
+
+def test_obs002_allow_comment_suppresses():
+    assert (
+        rule_ids(
+            """\
+            def open_round(self, round_, now):
+                self.tracer.begin("round", key=round_, start=now)  # repro: allow[OBS002] closed in close_round
+            """
+        )
+        == []
+    )
+
+
+def test_obs002_dynamic_span_name_is_skipped():
+    assert (
+        rule_ids(
+            """\
+            def on_phase(self, phase, now):
+                self.tracer.begin(phase.name, key=phase.key, start=now)
+            """
+        )
+        == []
+    )
+
+
+def test_obs002_non_tracer_begin_is_clean():
+    assert (
+        rule_ids(
+            """\
+            def start(self, session):
+                self.transaction.begin("outer")
+            """
+        )
+        == []
+    )
+
+
 # -- DAG001: full-round DAG scan inside a per-item loop -----------------------
 
 DAG_PATH = "src/repro/consensus/node.py"

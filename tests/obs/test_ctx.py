@@ -1,0 +1,90 @@
+"""Trace context: deterministic ids, head sampling, and the ctx registry."""
+
+from repro.obs import (
+    TraceCtx,
+    Tracer,
+    block_trace_key,
+    derive_trace_id,
+    sample_hit,
+    txn_trace_key,
+)
+
+
+def test_derive_trace_id_is_deterministic_and_64bit():
+    a = derive_trace_id("txn:c1:7")
+    assert a == derive_trace_id("txn:c1:7")
+    assert 0 <= a < 2**64
+    assert a != derive_trace_id("txn:c1:8")
+
+
+def test_trace_keys_are_distinct_namespaces():
+    # A txn id that happens to equal a digest hex must not collide.
+    assert txn_trace_key("deadbeef") != block_trace_key(bytes.fromhex("deadbeef"))
+    assert txn_trace_key("c1:7") == "txn:c1:7"
+    assert block_trace_key(b"\x00\xff") == "blk:00ff"
+
+
+def test_sample_hit_edge_rates():
+    assert sample_hit("anything", 1.0)
+    assert sample_hit("anything", 2.0)
+    assert not sample_hit("anything", 0.0)
+    assert not sample_hit("anything", -1.0)
+
+
+def test_sample_hit_is_pure_and_roughly_proportional():
+    keys = [f"txn:c{i % 4}:{i}" for i in range(4000)]
+    rate = 1 / 16
+    hits = [k for k in keys if sample_hit(k, rate)]
+    # Pure function of identity: the same keys hit on a second pass.
+    assert hits == [k for k in keys if sample_hit(k, rate)]
+    # BLAKE2b is uniform: 4000 draws at 1/16 land near 250.
+    assert 150 <= len(hits) <= 400
+    # Monotone in rate: a 1/4 sample is a superset of the 1/16 sample.
+    wider = {k for k in keys if sample_hit(k, 1 / 4)}
+    assert set(hits) <= wider
+
+
+def test_tracectx_equality_and_hashing():
+    a = TraceCtx(7, 1)
+    assert a == TraceCtx(7, 1)
+    assert a != TraceCtx(7, 2)
+    assert a != TraceCtx(8, 1)
+    assert a != (7, 1)
+    assert len({a, TraceCtx(7, 1), TraceCtx(7, 2)}) == 2
+
+
+def test_root_ctx_respects_sampling():
+    traced = Tracer(sample=1.0)
+    ctx = traced.root_ctx("txn:c1:0")
+    assert ctx is not None
+    assert ctx.trace_id == derive_trace_id("txn:c1:0")
+    assert ctx.span_id == 1  # first id from a fresh tracer
+
+    off = Tracer(sample=0.0)
+    assert off.root_ctx("txn:c1:0") is None
+    # Un-sampled roots must not burn span ids (determinism across rates).
+    assert off.next_span_id() == 1
+
+
+def test_ctx_span_chains_parent_child_links():
+    t = Tracer(sample=1.0)
+    root = t.root_ctx("txn:c1:0")
+    child = t.ctx_span("stage.one", 0.0, root, end=1.0, node=2)
+    grandchild = t.ctx_span("stage.two", 1.0, child, end=2.0)
+    assert child.trace_id == root.trace_id == grandchild.trace_id
+    one, two = t.to_dicts()
+    assert one["attrs"]["parent"] == root.span_id
+    assert one["attrs"]["span"] == child.span_id
+    assert two["attrs"]["parent"] == child.span_id
+    assert one["node"] == 2
+
+
+def test_ctx_registry_bind_lookup_unbind():
+    t = Tracer()
+    ctx = TraceCtx(1, 2)
+    t.bind(("vertex", 3, 0), ctx)
+    assert t.ctx(("vertex", 3, 0)) is ctx
+    assert t.ctx(("vertex", 3, 1)) is None
+    t.unbind(("vertex", 3, 0))
+    assert t.ctx(("vertex", 3, 0)) is None
+    t.unbind(("vertex", 3, 0))  # absent: no-op

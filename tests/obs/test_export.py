@@ -1,0 +1,97 @@
+"""Perfetto/Chrome-trace export: event shapes, tracks, and file output."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, TraceFile, export_perfetto, perfetto_trace
+from repro.obs.export import perfetto_events
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer(sample=1.0)
+    ctx = t.root_ctx("txn:c1:0")
+    t.span("smr.txn", 0.0, end=2.0, node=None,
+           trace=ctx.trace_id, span=ctx.span_id, txn="c1:0")
+    t.ctx_span("rbc.e2e", 0.5, ctx, end=1.5, node=3)
+    t.span("sim.run", 0.0, end=2.0)  # context-free span
+    t.anomaly("commit.prefix_divergence", kind="safety", node=1, time=1.0)
+    t.counter("consensus.commit", time=1.2, node=2)
+    t.gauge("dag.frontier", 5.0, time=1.4, node=0)
+    return t
+
+
+def test_span_events_are_complete_durations():
+    events = perfetto_events(_sample_tracer())
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {s["name"] for s in spans} == {"smr.txn", "rbc.e2e", "sim.run"}
+    e2e = next(s for s in spans if s["name"] == "rbc.e2e")
+    # Microsecond timestamps; pid = node + 1 (pid 0 is the global process).
+    assert e2e["ts"] == 500_000 and e2e["dur"] == 1_000_000
+    assert e2e["pid"] == 4
+    assert e2e["cat"] == "span"
+    # Context attrs survive into args for click-through inspection.
+    txn = next(s for s in spans if s["name"] == "smr.txn")
+    assert e2e["args"]["trace"] == txn["args"]["trace"]
+    assert e2e["args"]["parent"] == txn["args"]["span"]
+
+
+def test_causal_spans_share_a_trace_lane():
+    events = perfetto_events(_sample_tracer())
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    # Same trace -> same tid lane, even across nodes (pids differ).
+    txn, e2e = spans["smr.txn"], spans["rbc.e2e"]
+    assert txn["tid"] == e2e["tid"]
+    assert txn["pid"] != e2e["pid"]
+    # Context-free spans get a per-name lane instead.
+    assert spans["sim.run"]["tid"] != txn["tid"]
+
+
+def test_zero_length_spans_get_min_duration():
+    t = Tracer()
+    t.span("instant", 1.0, end=1.0)
+    (event,) = [e for e in perfetto_events(t) if e["ph"] == "X"]
+    assert event["dur"] == 1  # Perfetto drops dur=0 slices
+
+
+def test_anomaly_counter_and_metadata_events():
+    events = perfetto_events(_sample_tracer())
+    (anomaly,) = [e for e in events if e["ph"] == "i"]
+    assert anomaly["s"] == "g"
+    assert anomaly["cat"] == "safety"
+    assert anomaly["ts"] == 1_000_000
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {c["name"] for c in counters} == {"consensus.commit", "dag.frontier"}
+    gauge = next(c for c in counters if c["name"] == "dag.frontier")
+    assert gauge["args"] == {"value": 5.0}
+    meta = [e for e in events if e["ph"] == "M"]
+    process_names = {e["pid"]: e["args"]["name"]
+                     for e in meta if e["name"] == "process_name"}
+    assert process_names[0] == "global"
+    assert process_names[4] == "node 3"
+    assert any(e["name"] == "thread_name" for e in meta)
+
+
+def test_perfetto_trace_shape_and_file_roundtrip(tmp_path):
+    trace = perfetto_trace(_sample_tracer())
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    assert trace["displayTimeUnit"] == "ms"
+
+    path = tmp_path / "trace.perfetto.json"
+    count = export_perfetto(_sample_tracer(), str(path))
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == count
+    assert loaded == json.loads(json.dumps(trace))  # deterministic export
+
+
+def test_export_accepts_tracefile_and_dict_lists(tmp_path):
+    t = _sample_tracer()
+    jsonl = tmp_path / "trace.jsonl"
+    t.export_jsonl(str(jsonl))
+    from_tracer = perfetto_events(t)
+    # TraceFile (meta header skipped) and raw dict lists export identically.
+    assert perfetto_events(TraceFile(str(jsonl))) == from_tracer
+    assert perfetto_events(t.to_dicts()) == from_tracer
+    assert perfetto_events(t.records()) == from_tracer
+    with pytest.raises(TypeError):
+        perfetto_events([object()])

@@ -1,0 +1,125 @@
+"""The regression observatory: summarize, diff, and the gate predicate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    diff_summaries,
+    load_summary,
+    save_summary,
+    summarize_trace,
+)
+from repro.obs.regression import format_findings, has_regressions
+
+
+def _traced() -> Tracer:
+    t = Tracer()
+    for i in range(25):
+        t.span("rbc.e2e", i * 0.1, end=i * 0.1 + 0.05, node=i % 4)
+        t.counter("consensus.commit", time=i * 0.1)
+        t.counter("smr.client_latency", value=0.2 + 0.01 * i, time=i * 0.1)
+    t.gauge("dag.frontier", 3.0, time=1.0)
+    t.anomaly("round.stall", kind="liveness", time=2.0)
+    return t
+
+
+def test_summarize_trace_folds_all_record_types():
+    summary = summarize_trace(_traced())
+    assert summary["counters"]["consensus.commit"] == {
+        "events": 25, "total": 25.0}
+    assert summary["counters"]["anomaly.liveness"]["events"] == 1
+    assert summary["histograms"]["rbc.e2e"]["count"] == 25
+    assert summary["histograms"]["rbc.e2e"]["mean"] == pytest.approx(0.05)
+    # Value-bearing latency counters feed a histogram of their own.
+    assert summary["histograms"]["smr.client_latency"]["count"] == 25
+    assert summary["gauges"]["dag.frontier"] == {"points": 1, "last": 3.0}
+
+
+def test_summarize_trace_accepts_dicts_and_records():
+    t = _traced()
+    assert summarize_trace(t.to_dicts()) == summarize_trace(t)
+    assert summarize_trace(t.records()) == summarize_trace(t)
+
+
+def test_diff_identical_summaries_is_clean():
+    summary = summarize_trace(_traced())
+    findings = diff_summaries(summary, copy.deepcopy(summary))
+    assert findings == []
+    assert not has_regressions(findings)
+    assert format_findings(findings) == "no drift beyond thresholds"
+
+
+def test_diff_flags_counter_drift_beyond_tolerance():
+    base = summarize_trace(_traced())
+    cur = copy.deepcopy(base)
+    cur["counters"]["consensus.commit"]["total"] = 10.0  # -60%
+    findings = diff_summaries(base, cur, rel_tol=0.10)
+    (f,) = [x for x in findings if x["field"] == "total"]
+    assert f["metric"] == "consensus.commit"
+    assert f["severity"] == "regression"
+    assert f["delta_pct"] == -60.0
+    assert has_regressions(findings)
+    assert "consensus.commit.total" in format_findings(findings)
+
+
+def test_diff_tolerates_drift_within_tolerance():
+    base = summarize_trace(_traced())
+    cur = copy.deepcopy(base)
+    cur["counters"]["consensus.commit"]["total"] *= 1.05  # +5% < 10%
+    cur["histograms"]["rbc.e2e"]["p50"] *= 1.3  # 30% < 50% quantile tol
+    assert diff_summaries(base, cur) == []
+
+
+def test_diff_missing_fails_new_is_informational():
+    base = summarize_trace(_traced())
+    cur = copy.deepcopy(base)
+    del cur["counters"]["consensus.commit"]
+    cur["counters"]["consensus.extra"] = {"events": 1, "total": 1.0}
+    del cur["histograms"]["rbc.e2e"]
+    cur["histograms"]["rbc.extra"] = dict(base["histograms"]["rbc.e2e"])
+    findings = diff_summaries(base, cur)
+    severities = {(f["metric"], f["severity"]) for f in findings}
+    assert ("consensus.commit", "missing") in severities
+    assert ("rbc.e2e", "missing") in severities
+    assert ("consensus.extra", "info") in severities
+    assert ("rbc.extra", "info") in severities
+    assert has_regressions(findings)
+    # Info-only findings must not trip the gate.
+    assert not has_regressions([f for f in findings if f["severity"] == "info"])
+
+
+def test_diff_skips_low_count_histograms():
+    base = summarize_trace(_traced())
+    cur = copy.deepcopy(base)
+    for side in (base, cur):
+        side["histograms"]["rbc.rare"] = {
+            "count": 2, "sum": 1.0, "min": 0.1, "max": 0.9, "mean": 0.5,
+            "p50": 0.5, "p90": 0.9, "p99": 0.9, "p999": 0.9}
+    cur["histograms"]["rbc.rare"]["mean"] = 50.0  # huge, but n=2 < min_count
+    assert diff_summaries(base, cur) == []
+    assert diff_summaries(base, cur, min_count=1) != []
+
+
+def test_diff_zero_baseline_flags_any_growth():
+    base = {"counters": {"x": {"events": 0, "total": 0.0}}, "histograms": {}}
+    cur = {"counters": {"x": {"events": 3, "total": 3.0}}, "histograms": {}}
+    findings = diff_summaries(base, cur)
+    assert all(f["delta_pct"] is None for f in findings)  # inf encodes as None
+    assert has_regressions(findings)
+
+
+def test_load_summary_sniffs_json_vs_jsonl(tmp_path):
+    summary = summarize_trace(_traced())
+    archived = tmp_path / "summary.json"
+    save_summary(summary, str(archived))
+    # Archived summaries load verbatim (and are stable-sorted on disk).
+    assert load_summary(str(archived)) == summary
+    assert json.loads(archived.read_text()) == summary
+
+    trace = tmp_path / "trace.jsonl"
+    _traced().export_jsonl(str(trace))
+    # Raw JSONL traces are summarized on the fly to the same result.
+    assert load_summary(str(trace)) == summary

@@ -1,0 +1,53 @@
+"""Tracing must be a pure observer: RunMetrics are bit-identical.
+
+``Network._transmit`` routes a message through ``_transmit_traced`` exactly
+when tracing is on for that message (always at sample=1.0, per-message at
+1/k).  Both paths draw the same RNG values and produce the same arrival
+times, so turning tracing on — at any sample rate — may never perturb what
+the simulation computes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.metrics import measure_run
+from repro.committees.config import ClanConfig
+from repro.consensus.deployment import Deployment
+from repro.obs import Tracer
+from repro.smr.mempool import SyntheticWorkload
+from repro.smr.runtime import SmrRuntime
+
+
+def _deployment_metrics(tracer) -> dict:
+    cfg = ClanConfig.single_clan(12, 6, seed=3)
+    workload = SyntheticWorkload(txns_per_proposal=8)
+    dep = Deployment(cfg, make_block=workload.make_block, seed=7, tracer=tracer)
+    dep.start()
+    dep.run(until=4.0)
+    return measure_run(dep, workload, warmup=0.5, end=4.0).__dict__
+
+
+def test_sampled_tracing_preserves_run_metrics():
+    base = _deployment_metrics(None)
+    for sample in (1.0, 1 / 16, 0.0):
+        traced = _deployment_metrics(Tracer(sample=sample))
+        assert traced == base, f"tracing at sample={sample} perturbed the run"
+
+
+def _smr_digests(tracer) -> tuple:
+    runtime = SmrRuntime(ClanConfig.single_clan(10, 5, seed=1), tracer=tracer)
+    clients = [runtime.new_client(f"c{i}") for i in range(3)]
+    runtime.start()
+    for i in range(30):
+        runtime.submit(clients[i % 3], ("set", f"k{i}", i))
+    runtime.run(until=6.0)
+    accepted = tuple(c.accepted_count() for c in clients)
+    digests = tuple(
+        sorted(ex.state_digest() for ex in runtime.executors.values())
+    )
+    return accepted, digests
+
+
+def test_sampled_tracing_preserves_smr_outcome():
+    base = _smr_digests(None)
+    for sample in (1.0, 1 / 16):
+        assert _smr_digests(Tracer(sample=sample)) == base

@@ -183,3 +183,7 @@ def test_tracefile_handles_headerless_traces(tmp_path):
     assert trace.meta is None
     assert trace.dropped == 0
     assert [r["name"] for r in trace] == ["x"]
+    # The typed and dict readers accept the same pre-header file.
+    records = Tracer.read_jsonl(str(path))
+    assert [r.name for r in records] == ["x"]
+    assert [r["name"] for r in Tracer.read_jsonl_dicts(str(path))] == ["x"]
